@@ -1,0 +1,63 @@
+// Extension ablation: how robust is the exponential failure assumption —
+// shared by every model the paper compares — when reality is not
+// exponential? The same Dauwe-selected plans are simulated under renewal
+// failure processes with identical MTBF but different inter-arrival laws:
+// exponential (the modeling assumption), bursty Weibull (shape 0.7, the
+// regime reported for production HPC logs), mild Weibull (shape 1.5), and
+// log-normal.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/technique.h"
+#include "math/distribution.h"
+#include "sim/trial_runner.h"
+#include "systems/test_systems.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const mlck::util::Cli cli(argc, argv);
+  mlck::bench::BenchConfig cfg(cli, /*default_trials=*/200);
+  mlck::bench::reject_unknown_flags(cli);
+
+  using mlck::util::Table;
+  const mlck::core::DauweTechnique technique;
+
+  Table table({"system", "distribution", "sim eff", "sd", "pred eff",
+               "pred err"});
+  for (const char* name : {"D1", "D3", "D5", "D7", "D8"}) {
+    const auto sys = mlck::systems::table1_system(name);
+    mlck::bench::progress("ablation failure-distribution: " +
+                          std::string(name));
+    const auto selected = technique.select_plan(sys, cfg.options.pool);
+
+    const mlck::math::Exponential expo(sys.lambda_total());
+    const auto weibull_07 = mlck::math::Weibull::with_mean(sys.mtbf, 0.7);
+    const auto weibull_15 = mlck::math::Weibull::with_mean(sys.mtbf, 1.5);
+    const auto lognormal = mlck::math::LogNormal::with_mean(sys.mtbf, 1.0);
+    const mlck::math::FailureDistribution* laws[] = {&expo, &weibull_07,
+                                                     &weibull_15, &lognormal};
+    for (const auto* law : laws) {
+      const auto stats = mlck::sim::run_trials_with_distribution(
+          sys, selected.plan, *law, cfg.options.trials, cfg.options.seed,
+          cfg.options.sim, cfg.options.pool);
+      table.add_row({name, law->describe(),
+                     Table::pct(stats.efficiency.mean),
+                     Table::pct(stats.efficiency.stddev),
+                     Table::pct(selected.predicted_efficiency),
+                     Table::pct(selected.predicted_efficiency -
+                                    stats.efficiency.mean, 2)});
+    }
+  }
+  std::cout << "Ablation (extension): sensitivity of the exponential "
+               "failure assumption, Dauwe-selected plans\n";
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the exponential rows track the model "
+               "prediction; same-mean non-exponential laws move the "
+               "realized efficiency away from it (bursty Weibull slightly "
+               "up — failure clusters re-lose already-lost work while the "
+               "long gaps between bursts run clean; log-normal similarly). "
+               "The exponential assumption is a real model limitation, but "
+               "a conservative one on these systems.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "exp/experiments.h"
+#include "exp/plot.h"
+#include "util/cli.h"
+#include "util/thread_pool.h"
+
+namespace mlck::bench {
+
+/// Options shared by every experiment driver. Defaults reproduce the
+/// paper's settings; --trials/--seed/--threads override them for quick
+/// runs (the README documents this).
+struct BenchConfig {
+  exp::ExperimentOptions options;
+  std::unique_ptr<util::ThreadPool> pool;
+  bool csv = false;
+  std::string plot_prefix;  ///< --plot=prefix writes prefix.dat/.gp
+
+  explicit BenchConfig(const util::Cli& cli, std::size_t default_trials) {
+    options.trials = static_cast<std::size_t>(
+        cli.get_int("trials", static_cast<int>(default_trials)));
+    options.seed = static_cast<std::uint64_t>(
+        cli.get_int("seed", 20180521));
+    csv = cli.get_bool("csv", false);
+    plot_prefix = cli.get_string("plot", "");
+    const int threads = cli.get_int("threads", 0);
+    pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(threads));
+    options.pool = pool.get();
+  }
+
+  /// Writes <prefix>.dat and <prefix>.gp so `gnuplot <prefix>.gp` renders
+  /// the efficiency figure; no-op when --plot was not given.
+  void emit_efficiency_plot(const std::vector<exp::ScenarioResult>& rows,
+                            const std::string& title) const {
+    if (plot_prefix.empty() || rows.empty()) return;
+    std::vector<std::string> names;
+    for (const auto& o : rows.front().outcomes) names.push_back(o.technique);
+    std::ofstream dat(plot_prefix + ".dat");
+    exp::write_efficiency_dat(dat, rows);
+    std::ofstream gp(plot_prefix + ".gp");
+    exp::write_efficiency_gp(gp, plot_prefix + ".dat", title, names,
+                             plot_prefix + ".png");
+    std::cerr << "[mlck] wrote " << plot_prefix << ".dat and "
+              << plot_prefix << ".gp\n";
+  }
+};
+
+/// Fails loudly on mistyped sweep parameters instead of running defaults.
+inline void reject_unknown_flags(const util::Cli& cli) {
+  const auto unknown = cli.unrecognized();
+  if (!unknown.empty()) {
+    std::cerr << "unknown option(s):";
+    for (const auto& u : unknown) std::cerr << " --" << u;
+    std::cerr << "\n";
+    std::exit(2);
+  }
+}
+
+/// Progress line to stderr so long sweeps are observable while stdout
+/// stays a clean report.
+inline void progress(const std::string& message) {
+  std::cerr << "[mlck] " << message << "\n";
+}
+
+}  // namespace mlck::bench

@@ -1,0 +1,51 @@
+// Exascale viability study: where multilevel checkpointing stops working
+// (the paper's headline systems conclusion). Sweeps the system MTBF for a
+// fixed PFS cost and reports the best achievable efficiency, reproducing
+// the "a 15-minute MTBF with >10-minute PFS checkpoints drops below 50%
+// efficiency" observation.
+//
+//   $ ./exascale_study [--pfs=20] [--trials=100]
+#include <iostream>
+
+#include "core/technique.h"
+#include "sim/trial_runner.h"
+#include "systems/scaling.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using mlck::util::Table;
+  const mlck::util::Cli cli(argc, argv);
+  const double pfs = cli.get_double("pfs", 20.0);
+  const auto trials =
+      static_cast<std::size_t>(cli.get_int("trials", 100));
+
+  std::cout << "Multilevel checkpointing viability, 1440-minute "
+               "application, PFS cost "
+            << pfs << " min (paper Sec. IV-E)\n\n";
+
+  const mlck::core::DauweTechnique technique;
+  Table table({"MTBF (min)", "plan", "sim eff", "sd", "useful work",
+               "failed C/R time"});
+  for (const double mtbf : {60.0, 26.0, 20.0, 15.0, 9.0, 6.0, 3.0}) {
+    const auto system = mlck::systems::scaled_system_b(mtbf, pfs, 1440.0);
+    const auto selected = technique.select_plan(system);
+    const auto stats =
+        mlck::sim::run_trials(system, selected.plan, trials, /*seed=*/11);
+    table.add_row(
+        {Table::num(mtbf, 0), selected.plan.to_string(),
+         Table::pct(stats.efficiency.mean),
+         Table::pct(stats.efficiency.stddev),
+         Table::pct(stats.time_shares.useful),
+         Table::pct(stats.time_shares.checkpoint_failed +
+                    stats.time_shares.restart_failed)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the table: once the MTBF approaches the PFS "
+               "checkpoint time, failed checkpoint/restart events consume "
+               "a rapidly growing share of the machine and no interval "
+               "tuning can recover it — the paper's argument that exascale "
+               "systems need complementary resilience mechanisms.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, regenerates every paper
+# table/figure plus the ablations, and (optionally) renders the figures
+# with gnuplot. Artifacts land in ./reproduction/.
+#
+# Usage: scripts/reproduce.sh [--quick]
+#   --quick   use 40 trials per bar instead of the paper's 200/400
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRIALS_FLAG=""
+if [[ "${1:-}" == "--quick" ]]; then
+  TRIALS_FLAG="--trials=40"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p reproduction
+run() {
+  local name="$1"; shift
+  echo "== ${name} =="
+  "./build/bench/${name}" "$@" | tee "reproduction/${name}.txt"
+}
+
+run table1_systems
+run fig2_technique_comparison ${TRIALS_FLAG} --plot=reproduction/fig2
+run fig3_time_breakdown       ${TRIALS_FLAG}
+run fig4_exascale_scaling     ${TRIALS_FLAG} --plot=reproduction/fig4
+run fig5_short_application    ${TRIALS_FLAG} --plot=reproduction/fig5
+run fig6_prediction_error     ${TRIALS_FLAG} --plot=reproduction/fig6
+run ablation_failed_events    ${TRIALS_FLAG}
+run ablation_restart_semantics ${TRIALS_FLAG}
+run ablation_level_skipping   ${TRIALS_FLAG}
+run ablation_failure_distribution ${TRIALS_FLAG}
+run ablation_interval_vs_pattern  ${TRIALS_FLAG}
+run ablation_energy_objective ${TRIALS_FLAG}
+run ablation_adaptive_horizon ${TRIALS_FLAG}
+
+if command -v gnuplot >/dev/null 2>&1; then
+  for gp in reproduction/*.gp; do
+    [[ -e "$gp" ]] && (cd reproduction && gnuplot "$(basename "$gp")")
+  done
+  echo "figures rendered to reproduction/*.png"
+else
+  echo "gnuplot not found; .dat/.gp files left in reproduction/"
+fi
+echo "done."

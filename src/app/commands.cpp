@@ -1,0 +1,371 @@
+#include "app/commands.h"
+
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "core/adaptive.h"
+#include "core/dauwe_model.h"
+#include "energy/power_model.h"
+#include "core/optimizer.h"
+#include "core/serialize.h"
+#include "core/technique.h"
+#include "models/daly.h"
+#include "models/di.h"
+#include "models/moody.h"
+#include "models/registry.h"
+#include "models/young.h"
+#include "sim/trial_runner.h"
+#include "systems/test_systems.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace mlck::app {
+
+namespace {
+
+using util::Cli;
+using util::Table;
+
+std::unique_ptr<core::ExecutionTimeModel> make_model(
+    const std::string& name) {
+  if (name == "dauwe") return std::make_unique<core::DauweModel>();
+  if (name == "di") return std::make_unique<models::DiModel>();
+  if (name == "moody") return std::make_unique<models::MoodyModel>();
+  if (name == "daly") return std::make_unique<models::DalyModel>();
+  if (name == "young") return std::make_unique<models::YoungModel>();
+  throw std::out_of_range("unknown model: " + name);
+}
+
+sim::SimOptions sim_options_from(const Cli& cli) {
+  sim::SimOptions opts;
+  const std::string policy = cli.get_string("policy", "retry");
+  if (policy == "escalate") {
+    opts.restart_policy = sim::RestartPolicy::kMoodyEscalate;
+  } else if (policy != "retry") {
+    throw std::out_of_range("unknown --policy (use retry|escalate)");
+  }
+  opts.take_final_checkpoint = cli.get_bool("final-checkpoint", false);
+  return opts;
+}
+
+systems::SystemConfig system_from(const Cli& cli) {
+  const auto name = cli.value("system");
+  if (!name || name->empty()) {
+    throw std::out_of_range("--system=<name|file.json> is required");
+  }
+  return core::load_system(*name);
+}
+
+int cmd_systems(std::ostream& out) {
+  Table table({"name", "levels", "MTBF (min)", "base time (min)"});
+  for (const auto& sys : systems::table1_systems()) {
+    table.add_row({sys.name, std::to_string(sys.levels()),
+                   Table::num(sys.mtbf, 2), Table::num(sys.base_time, 0)});
+  }
+  table.print(out);
+  return 0;
+}
+
+int cmd_show(const Cli& cli, std::ostream& out) {
+  out << core::to_json(system_from(cli)).dump(2) << "\n";
+  return 0;
+}
+
+int cmd_optimize(const Cli& cli, std::ostream& out) {
+  const auto system = system_from(cli);
+  const auto technique =
+      models::make_technique(cli.get_string("technique", "dauwe"));
+  const auto result = technique->select_plan(system);
+  Table table({"field", "value"});
+  table.add_row({"technique", result.technique});
+  table.add_row({"plan", result.plan.to_string()});
+  table.add_row({"predicted time (min)",
+                 Table::num(result.predicted_time, 2)});
+  table.add_row({"predicted efficiency",
+                 Table::pct(result.predicted_efficiency)});
+  table.print(out);
+  if (const auto path = cli.value("out"); path && !path->empty()) {
+    core::write_file(*path, core::to_json(result.plan).dump(2) + "\n");
+    out << "plan written to " << *path << "\n";
+  }
+  return 0;
+}
+
+int cmd_predict(const Cli& cli, std::ostream& out) {
+  const auto system = system_from(cli);
+  const auto plan_path = cli.value("plan");
+  if (!plan_path || plan_path->empty()) {
+    throw std::out_of_range("--plan=plan.json is required");
+  }
+  const auto plan = core::plan_from_json(
+      util::Json::parse(core::read_file(*plan_path)));
+  plan.validate(system);
+  const auto model = make_model(cli.get_string("model", "dauwe"));
+  const auto prediction = model->predict(system, plan);
+  Table table({"field", "value"});
+  table.add_row({"plan", plan.to_string()});
+  table.add_row({"expected time (min)",
+                 Table::num(prediction.expected_time, 2)});
+  table.add_row({"efficiency", Table::pct(prediction.efficiency)});
+  table.print(out);
+  return 0;
+}
+
+int cmd_simulate(const Cli& cli, std::ostream& out) {
+  const auto system = system_from(cli);
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 200));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto options = sim_options_from(cli);
+
+  // Interval-based schedules bypass the pattern plumbing entirely.
+  if (const auto schedule_path = cli.value("intervals");
+      schedule_path && !schedule_path->empty()) {
+    const auto schedule = core::interval_schedule_from_json(
+        util::Json::parse(core::read_file(*schedule_path)));
+    schedule.validate(system);
+    const auto interval_stats =
+        sim::run_trials(system, schedule, trials, seed, options);
+    Table t({"metric", "value"});
+    t.add_row({"schedule", schedule.to_string()});
+    t.add_row({"efficiency mean",
+               Table::pct(interval_stats.efficiency.mean)});
+    t.add_row({"efficiency stddev",
+               Table::pct(interval_stats.efficiency.stddev)});
+    t.print(out);
+    return 0;
+  }
+
+  core::CheckpointPlan plan;
+  if (const auto plan_path = cli.value("plan");
+      plan_path && !plan_path->empty()) {
+    plan = core::plan_from_json(
+        util::Json::parse(core::read_file(*plan_path)));
+  } else {
+    const auto technique =
+        models::make_technique(cli.get_string("technique", "dauwe"));
+    plan = technique->select_plan(system).plan;
+  }
+  plan.validate(system);
+  sim::TrialStats stats;
+  if (cli.get_bool("adaptive", false)) {
+    // Horizon-aware wrapper (Sec. IV-F generalized).
+    stats = sim::run_trials(system, core::make_adaptive(system, plan),
+                            trials, seed, options);
+  } else {
+    stats = sim::run_trials(system, plan, trials, seed, options);
+  }
+
+  Table table({"metric", "value"});
+  table.add_row({"plan", plan.to_string()});
+  table.add_row({"trials", std::to_string(trials)});
+  table.add_row({"efficiency mean", Table::pct(stats.efficiency.mean)});
+  table.add_row({"efficiency stddev", Table::pct(stats.efficiency.stddev)});
+  table.add_row({"95% CI half-width",
+                 Table::pct(stats.efficiency.ci95_halfwidth(), 2)});
+  table.add_row({"total time mean (min)",
+                 Table::num(stats.total_time.mean, 1)});
+  table.add_row({"mean failures/run", Table::num(stats.mean_failures, 1)});
+  table.add_row({"capped trials", std::to_string(stats.capped_trials)});
+  table.print(out);
+
+  out << "\ntime shares\n";
+  Table shares({"bucket", "share"});
+  const auto& s = stats.time_shares;
+  shares.add_row({"useful work", Table::pct(s.useful)});
+  shares.add_row({"checkpoints ok", Table::pct(s.checkpoint_ok)});
+  shares.add_row({"checkpoints failed", Table::pct(s.checkpoint_failed)});
+  shares.add_row({"restarts ok", Table::pct(s.restart_ok)});
+  shares.add_row({"restarts failed", Table::pct(s.restart_failed)});
+  shares.add_row({"rework (compute)", Table::pct(s.rework_compute)});
+  shares.add_row({"rework (checkpoint)", Table::pct(s.rework_checkpoint)});
+  shares.add_row({"rework (restart)", Table::pct(s.rework_restart)});
+  shares.print(out);
+  return 0;
+}
+
+int cmd_compare(const Cli& cli, std::ostream& out) {
+  const auto system = system_from(cli);
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 100));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  Table table({"technique", "plan", "sim eff", "sd", "predicted",
+               "pred err"});
+  for (const char* name :
+       {"dauwe", "di", "moody", "benoit", "daly", "young"}) {
+    const auto technique = models::make_technique(name);
+    const auto selected = technique->select_plan(system);
+    const auto stats =
+        sim::run_trials(system, selected.plan, trials, seed);
+    table.add_row({selected.technique, selected.plan.to_string(),
+                   Table::pct(stats.efficiency.mean),
+                   Table::pct(stats.efficiency.stddev),
+                   Table::pct(selected.predicted_efficiency),
+                   Table::pct(selected.predicted_efficiency -
+                                  stats.efficiency.mean, 2)});
+  }
+  table.print(out);
+  return 0;
+}
+
+int cmd_sensitivity(const Cli& cli, std::ostream& out) {
+  // How sharply does expected efficiency fall off around the selected
+  // computation interval? (Daly's classic observation: the optimum is
+  // flat, so interval estimates can be rough. The sweep quantifies how
+  // flat, per system.)
+  const auto system = system_from(cli);
+  const auto technique =
+      models::make_technique(cli.get_string("technique", "dauwe"));
+  const auto selected = technique->select_plan(system);
+  const core::DauweModel model;
+
+  Table table({"tau0 factor", "tau0 (min)", "predicted eff",
+               "vs optimum"});
+  const auto prediction_at = [&](double tau) {
+    core::CheckpointPlan plan = selected.plan;
+    plan.tau0 = tau;
+    return system.base_time / model.expected_time(system, plan);
+  };
+  const double best = prediction_at(selected.plan.tau0);
+  for (const double factor :
+       {0.25, 0.5, 0.7, 0.85, 1.0, 1.2, 1.5, 2.0, 4.0}) {
+    const double tau = selected.plan.tau0 * factor;
+    const double eff = prediction_at(tau);
+    table.add_row({Table::num(factor, 2), Table::num(tau, 3),
+                   Table::pct(eff), Table::pct(eff - best, 2)});
+  }
+  out << "plan " << selected.plan.to_string() << "\n";
+  table.print(out);
+  return 0;
+}
+
+int cmd_energy(const Cli& cli, std::ostream& out) {
+  const auto system = system_from(cli);
+  energy::PowerModel power;
+  power.checkpoint = cli.get_double("checkpoint-power", 0.7);
+  power.restart = cli.get_double("restart-power", 0.6);
+  power.validate();
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 100));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const core::DauweModel base;
+
+  Table table({"objective", "plan", "sim eff", "sim energy/run"});
+  struct Variant {
+    const char* label;
+    energy::Objective objective;
+  };
+  for (const Variant& v :
+       {Variant{"time", energy::Objective::kTime},
+        Variant{"energy", energy::Objective::kEnergy},
+        Variant{"EDP", energy::Objective::kEdp}}) {
+    const energy::EnergyObjectiveModel objective(base, power, v.objective);
+    const auto best = core::optimize_intervals(objective, system);
+    const auto stats = sim::run_trials(system, best.plan, trials, seed);
+    sim::SimBreakdown shares = stats.time_shares;
+    table.add_row({v.label, best.plan.to_string(),
+                   Table::pct(stats.efficiency.mean),
+                   Table::num(power.energy(shares) * stats.total_time.mean,
+                              1)});
+  }
+  table.print(out);
+  out << "(power draws: compute 1.0, checkpoint " << power.checkpoint
+      << ", restart " << power.restart << ")\n";
+  return 0;
+}
+
+int cmd_trace(const Cli& cli, std::ostream& out) {
+  const auto system = system_from(cli);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
+  const auto max_events =
+      static_cast<std::size_t>(cli.get_int("max-events", 40));
+  const core::DauweTechnique technique;
+  const auto selected = technique.select_plan(system);
+
+  std::vector<sim::TraceEvent> trace;
+  sim::SimOptions opts = sim_options_from(cli);
+  opts.trace = &trace;
+  sim::RandomFailureSource failures(system, util::Rng(seed));
+  const auto result = sim::simulate(system, selected.plan, failures, opts);
+
+  out << "plan " << selected.plan.to_string() << "\n";
+  Table table({"t (min)", "event", "level", "duration", "outcome"});
+  const char* names[] = {"compute", "checkpoint", "restart",
+                         "scratch-restart"};
+  for (std::size_t i = 0; i < trace.size() && i < max_events; ++i) {
+    const auto& ev = trace[i];
+    std::string level_cell = "-";
+    if (ev.system_level >= 0) {
+      level_cell = "L";
+      level_cell += std::to_string(ev.system_level + 1);
+    }
+    std::string outcome = "ok";
+    if (!ev.completed) {
+      outcome = "failed (severity ";
+      outcome += std::to_string(ev.failure_severity + 1);
+      outcome += ")";
+    }
+    table.add_row({Table::num(ev.start, 2),
+                   names[static_cast<int>(ev.kind)], level_cell,
+                   Table::num(ev.end - ev.start, 2), outcome});
+  }
+  table.print(out);
+  out << "total " << Table::num(result.total_time, 1) << " min, efficiency "
+      << Table::pct(result.efficiency()) << ", " << trace.size()
+      << " events\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "usage: mlck <systems|show|optimize|predict|simulate|compare|energy|"
+         "sensitivity|trace>"
+         " [--system=<name|file.json>] [options]\n"
+         "run `mlck <command>` with a missing argument for its specific"
+         " requirements; see src/app/commands.h for the full synopsis\n";
+}
+
+int run_command(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.empty()) {
+    err << usage();
+    return 2;
+  }
+  const std::string& command = args[0];
+  std::vector<const char*> argv{"mlck"};
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    argv.push_back(args[i].c_str());
+  }
+  const Cli cli(static_cast<int>(argv.size()), argv.data());
+
+  try {
+    int code = 2;
+    if (command == "systems") code = cmd_systems(out);
+    else if (command == "show") code = cmd_show(cli, out);
+    else if (command == "optimize") code = cmd_optimize(cli, out);
+    else if (command == "predict") code = cmd_predict(cli, out);
+    else if (command == "simulate") code = cmd_simulate(cli, out);
+    else if (command == "compare") code = cmd_compare(cli, out);
+    else if (command == "energy") code = cmd_energy(cli, out);
+    else if (command == "sensitivity") code = cmd_sensitivity(cli, out);
+    else if (command == "trace") code = cmd_trace(cli, out);
+    else {
+      err << "unknown command: " << command << "\n" << usage();
+      return 2;
+    }
+    const auto unknown = cli.unrecognized();
+    if (!unknown.empty()) {
+      err << "warning: unrecognized option(s):";
+      for (const auto& u : unknown) err << " --" << u;
+      err << "\n";
+    }
+    return code;
+  } catch (const std::out_of_range& e) {
+    err << "error: " << e.what() << "\n" << usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace mlck::app

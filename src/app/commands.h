@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mlck::app {
+
+/// Entry point of the `mlck` command-line tool, factored out of main()
+/// so the test suite can drive every subcommand against in-memory
+/// streams.
+///
+/// Usage:
+///   mlck systems
+///   mlck show     --system=<name|file.json>
+///   mlck optimize --system=... [--technique=dauwe] [--out=plan.json]
+///   mlck predict  --system=... --plan=plan.json [--model=dauwe]
+///   mlck simulate --system=... (--plan=plan.json | --technique=dauwe |
+///                 --intervals=schedule.json) [--adaptive]
+///                 [--trials=200] [--seed=1] [--policy=retry|escalate]
+///   mlck compare  --system=... [--trials=100]
+///   mlck energy   --system=... [--checkpoint-power=0.7] [--restart-power=0.6]
+///   mlck sensitivity --system=... [--technique=dauwe]
+///   mlck trace    --system=... [--seed=4] [--max-events=40]
+///
+/// `--system` accepts a Table I name (M, B, D1..D9) or a path to a JSON
+/// system document (see core/serialize.h for the schema).
+///
+/// Returns a process exit code: 0 success, 2 usage error, 1 runtime
+/// failure (message on @p err).
+int run_command(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+/// One-line usage summary (printed on bad invocations).
+std::string usage();
+
+}  // namespace mlck::app

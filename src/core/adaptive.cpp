@@ -1,0 +1,53 @@
+#include "core/adaptive.h"
+
+#include <cmath>
+
+#include "core/effective.h"
+
+namespace mlck::core {
+
+std::optional<CheckpointPoint> AdaptiveSchedule::next_checkpoint(
+    double work) const {
+  double position = work;
+  for (;;) {
+    // Next base pattern point strictly after `position`.
+    const double j =
+        std::floor((position + IntervalSchedule::kWorkEpsilon) / base.tau0) +
+        1.0;
+    const double point = j * base.tau0;
+    if (point >= base_time - IntervalSchedule::kWorkEpsilon) {
+      return std::nullopt;  // the run finishes first
+    }
+    const int pattern_level =
+        base.checkpoint_after_interval(static_cast<long long>(j));
+    const double remaining = base_time - point;
+    // Downgrade to the highest used level still worth its cost here. SCR
+    // grids nest, so every lower used level is also due at this point.
+    for (int k = pattern_level; k >= 0; --k) {
+      if (remaining >= cutoff_remaining[static_cast<std::size_t>(k)]) {
+        return CheckpointPoint{point, k};
+      }
+    }
+    position = point;  // everything skipped; look at the next point
+  }
+}
+
+AdaptiveSchedule make_adaptive(const systems::SystemConfig& system,
+                               const CheckpointPlan& plan) {
+  plan.validate(system);
+  AdaptiveSchedule schedule;
+  schedule.base = plan;
+  schedule.base_time = system.base_time;
+  const EffectiveSystem eff = make_effective(system, plan);
+  schedule.cutoff_remaining.reserve(eff.level.size());
+  for (const auto& level : eff.level) {
+    double cutoff = 0.0;
+    if (level.lambda > 0.0 && level.checkpoint_cost > 0.0) {
+      cutoff = std::sqrt(2.0 * level.checkpoint_cost / level.lambda);
+    }
+    schedule.cutoff_remaining.push_back(cutoff);
+  }
+  return schedule;
+}
+
+}  // namespace mlck::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/interval_schedule.h"
+#include "core/plan.h"
+#include "systems/system_config.h"
+
+namespace mlck::core {
+
+/// Horizon-aware refinement of a pattern plan (the library's
+/// generalization of paper Sec. IV-F).
+///
+/// The paper observes that a *whole run* shorter than the mean time
+/// between severity-L failures should not take level-L checkpoints at
+/// all. The same logic applies to the *tail* of any run: once the
+/// remaining work drops below a level's break-even horizon, one more
+/// checkpoint of that level costs more than the failure loss it can
+/// avert. To first order a level-k checkpoint taken with W minutes of
+/// work remaining averts an expected lambda_k * W * (W/2) of re-execution
+/// at a price of delta_k, so the break-even horizon is
+///
+///   cutoff_k = sqrt(2 delta_k / lambda_k)
+///
+/// — the Young interval of the level. The adaptive schedule runs the base
+/// pattern unchanged until a level's remaining-work horizon passes its
+/// cutoff, then *downgrades* that pattern point to the highest still
+/// profitable lower level (which is due there anyway, since SCR grids
+/// nest), or skips the point entirely when none remains.
+struct AdaptiveSchedule {
+  CheckpointPlan base;
+  double base_time = 0.0;
+
+  /// Per used level: skip further checkpoints of this level once
+  /// base_time - work < cutoff_remaining[k].
+  std::vector<double> cutoff_remaining;
+
+  /// Next trigger after @p work under the horizon rule, or nullopt when
+  /// every remaining pattern point is skipped.
+  std::optional<CheckpointPoint> next_checkpoint(double work) const;
+};
+
+/// Builds the adaptive wrapper for @p plan on @p system with the
+/// first-order cutoffs above (severities binned onto used levels exactly
+/// as the models bin them).
+AdaptiveSchedule make_adaptive(const systems::SystemConfig& system,
+                               const CheckpointPlan& plan);
+
+}  // namespace mlck::core

@@ -1,0 +1,26 @@
+#include "core/effective.h"
+
+namespace mlck::core {
+
+EffectiveSystem make_effective(const systems::SystemConfig& system,
+                               const CheckpointPlan& plan) {
+  EffectiveSystem eff;
+  eff.lambda_total = system.lambda_total();
+  eff.level.reserve(plan.levels.size());
+  int severity = 0;  // next system severity to assign
+  for (const int used : plan.levels) {
+    EffectiveLevel lvl;
+    lvl.checkpoint_cost =
+        system.checkpoint_cost[static_cast<std::size_t>(used)];
+    lvl.restart_cost = system.restart_cost[static_cast<std::size_t>(used)];
+    for (; severity <= used; ++severity) lvl.lambda += system.lambda(severity);
+    lvl.severity_share = lvl.lambda / eff.lambda_total;
+    eff.level.push_back(lvl);
+  }
+  for (; severity < system.levels(); ++severity) {
+    eff.scratch_lambda += system.lambda(severity);
+  }
+  return eff;
+}
+
+}  // namespace mlck::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "core/plan.h"
+#include "systems/system_config.h"
+
+namespace mlck::core {
+
+/// One level of the reduced hierarchy seen by the analytic models.
+struct EffectiveLevel {
+  double lambda = 0.0;         ///< failure rate handled by this level
+  double checkpoint_cost = 0.0;
+  double restart_cost = 0.0;
+  double severity_share = 0.0; ///< S_k = lambda / full-system lambda
+};
+
+/// The plan-induced reduction of a system: severities are re-binned onto
+/// the plan's used levels.
+///
+/// A severity-s failure restarts from the lowest used level >= s, so for
+/// used levels e_0 < e_1 < ... < e_{K-1} the effective rate of used level
+/// k is the sum of lambda_s over severities s in (e_{k-1}, e_k] (with
+/// e_{-1} = -1). Severities above e_{K-1} cannot be recovered from any
+/// checkpoint and restart the application from scratch; their combined
+/// rate is `scratch_lambda`.
+struct EffectiveSystem {
+  std::vector<EffectiveLevel> level;
+  double scratch_lambda = 0.0;
+  double lambda_total = 0.0;  ///< full-system failure rate (all severities)
+};
+
+/// Builds the effective hierarchy for @p plan. @p plan must be valid for
+/// @p system (see CheckpointPlan::validate).
+EffectiveSystem make_effective(const systems::SystemConfig& system,
+                               const CheckpointPlan& plan);
+
+}  // namespace mlck::core

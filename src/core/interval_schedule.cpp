@@ -1,0 +1,78 @@
+#include "core/interval_schedule.h"
+
+#include "core/plan.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mlck::core {
+
+std::optional<CheckpointPoint> IntervalSchedule::next_checkpoint(
+    double work, double base_time) const {
+  double best = std::numeric_limits<double>::infinity();
+  int best_index = -1;
+  for (std::size_t k = 0; k < periods.size(); ++k) {
+    const double p = periods[k];
+    // First multiple of p strictly greater than `work` (tolerating being
+    // exactly on a grid point).
+    const double steps = std::floor((work + kWorkEpsilon) / p) + 1.0;
+    const double point = steps * p;
+    if (point < best - kWorkEpsilon) {
+      best = point;
+      best_index = static_cast<int>(k);
+    } else if (point <= best + kWorkEpsilon) {
+      // Collision: the higher level subsumes the lower ones.
+      best_index = std::max(best_index, static_cast<int>(k));
+    }
+  }
+  if (best_index < 0 || best >= base_time - kWorkEpsilon) return std::nullopt;
+  return CheckpointPoint{best, best_index};
+}
+
+void IntervalSchedule::validate(const systems::SystemConfig& system) const {
+  if (levels.empty()) {
+    throw std::invalid_argument("interval schedule: no levels in use");
+  }
+  if (periods.size() != levels.size()) {
+    throw std::invalid_argument(
+        "interval schedule: periods/levels size mismatch");
+  }
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i] < 0 || levels[i] >= system.levels()) {
+      throw std::invalid_argument("interval schedule: level out of range");
+    }
+    if (i > 0 && levels[i] <= levels[i - 1]) {
+      throw std::invalid_argument(
+          "interval schedule: levels must be strictly ascending");
+    }
+    if (!(periods[i] > 0.0)) {
+      throw std::invalid_argument("interval schedule: period must be > 0");
+    }
+  }
+}
+
+std::string IntervalSchedule::to_string() const {
+  std::ostringstream os;
+  os << "intervals{";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i) os << ", ";
+    os << "L" << levels[i] + 1 << ":" << periods[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+IntervalSchedule IntervalSchedule::from_plan(const CheckpointPlan& plan) {
+  IntervalSchedule schedule;
+  schedule.levels = plan.levels;
+  schedule.periods.reserve(plan.levels.size());
+  for (int k = 0; k < plan.used_levels(); ++k) {
+    schedule.periods.push_back(
+        plan.tau0 * static_cast<double>(plan.interval_period(k)));
+  }
+  return schedule;
+}
+
+}  // namespace mlck::core

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "systems/system_config.h"
+
+namespace mlck::core {
+
+struct CheckpointPlan;
+
+/// A checkpoint trigger: after `work` minutes of useful progress, take a
+/// checkpoint of used level `used_index`.
+struct CheckpointPoint {
+  double work = 0.0;
+  int used_index = 0;
+};
+
+/// Interval-based multilevel checkpoint schedule (the alternative to SCR
+/// patterns analyzed by Di et al. and discussed in paper Sec. II-C): each
+/// used level k checkpoints every `periods[k]` minutes of *work*,
+/// independently of the other levels — periods need not nest or even be
+/// ordered.
+///
+/// Collision rule (the paper notes this is the open practical question
+/// for interval-based protocols): when several levels' grids coincide at
+/// the same work point, a single checkpoint of the *highest* such level
+/// is taken — it subsumes the lower levels exactly as in the SCR
+/// protocol, so nothing is lost and nothing is written twice.
+struct IntervalSchedule {
+  /// Ascending, unique system level indices in use. Non-empty.
+  std::vector<int> levels;
+
+  /// Work minutes between level-k checkpoints; same size as `levels`,
+  /// entries > 0.
+  std::vector<double> periods;
+
+  int used_levels() const noexcept { return static_cast<int>(levels.size()); }
+
+  /// The next checkpoint trigger strictly after @p work, or nullopt when
+  /// every remaining grid point lies at or beyond @p base_time (a
+  /// completed application takes no further checkpoints).
+  ///
+  /// Grid points are absolute work positions j * periods[k]; a position
+  /// within kWorkEpsilon of a grid point counts as already on it, so a
+  /// rollback to a checkpointed position never re-triggers that same
+  /// checkpoint.
+  std::optional<CheckpointPoint> next_checkpoint(double work,
+                                                 double base_time) const;
+
+  /// Tolerance for matching work positions to grid points (minutes).
+  static constexpr double kWorkEpsilon = 1e-9;
+
+  /// Throws std::invalid_argument on malformed schedules (empty, size
+  /// mismatch, non-positive periods, bad level indices).
+  void validate(const systems::SystemConfig& system) const;
+
+  std::string to_string() const;
+
+  /// The interval schedule equivalent to an SCR pattern plan: level k
+  /// checkpoints every tau0 * P_k of work. Produces the exact same
+  /// checkpoint grid (points and levels), so simulations of the two
+  /// representations coincide trajectory-for-trajectory — a property the
+  /// tests exploit to cross-validate both engine paths.
+  static IntervalSchedule from_plan(const CheckpointPlan& plan);
+};
+
+}  // namespace mlck::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include "core/plan.h"
+#include "systems/system_config.h"
+
+namespace mlck::core {
+
+/// Expected time attributed to each execution event class of paper
+/// Sec. III-B, totaled over the whole application run (minutes).
+struct ModelBreakdown {
+  double compute = 0.0;           ///< first-time useful computation (= T_B)
+  double checkpoint_ok = 0.0;     ///< successful checkpoints, T_delta
+  double checkpoint_failed = 0.0; ///< failed checkpoints, T_delta'
+  double restart_ok = 0.0;        ///< successful restarts, T_R
+  double restart_failed = 0.0;    ///< failed restarts, T_R'
+  double rework_compute = 0.0;    ///< recomputation after failures during
+                                  ///< computation intervals, T_W_tau
+  double rework_checkpoint = 0.0; ///< recomputation after failures during
+                                  ///< checkpoints, T_W_delta
+  double scratch_rework = 0.0;    ///< whole-run reruns when a severity has
+                                  ///< no covering checkpoint level
+
+  double total() const noexcept {
+    return compute + checkpoint_ok + checkpoint_failed + restart_ok +
+           restart_failed + rework_compute + rework_checkpoint +
+           scratch_rework;
+  }
+};
+
+/// A model's forecast for one (system, plan) pair.
+struct Prediction {
+  double expected_time = 0.0;  ///< T_ML
+  double efficiency = 0.0;     ///< T_B / T_ML
+  ModelBreakdown breakdown;
+};
+
+/// Interface for execution-time prediction models; the optimizer minimizes
+/// expected_time over the plan space, so any model plugged in here can
+/// drive checkpoint-interval selection.
+///
+/// Implementations must return +infinity for plans they consider
+/// infeasible (e.g. fewer than one top-level period) rather than throwing,
+/// so optimizer sweeps stay branch-free.
+class ExecutionTimeModel {
+ public:
+  virtual ~ExecutionTimeModel() = default;
+
+  /// Expected wall-clock minutes to complete the application under @p plan.
+  virtual double expected_time(const systems::SystemConfig& system,
+                               const CheckpointPlan& plan) const = 0;
+
+  /// Full forecast with per-event breakdown. The default implementation
+  /// fills only the totals.
+  virtual Prediction predict(const systems::SystemConfig& system,
+                             const CheckpointPlan& plan) const {
+    Prediction p;
+    p.expected_time = expected_time(system, plan);
+    p.efficiency = system.base_time / p.expected_time;
+    return p;
+  }
+};
+
+}  // namespace mlck::core

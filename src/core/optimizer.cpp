@@ -1,0 +1,183 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/parallel.h"
+
+namespace mlck::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Candidate {
+  double time = kInf;
+  double tau0 = 0.0;
+  std::vector<int> counts;
+};
+
+std::vector<double> log_grid(double lo, double hi, int points) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double ratio = std::log(hi / lo);
+  for (int i = 0; i < points; ++i) {
+    const double f = (points == 1)
+                         ? 0.5
+                         : static_cast<double>(i) / (points - 1);
+    out.push_back(lo * std::exp(ratio * f));
+  }
+  return out;
+}
+
+/// Enumerates ladder^(K-1) count combinations for one tau0, pruning
+/// combinations whose pattern already exceeds the feasibility bound
+/// tau0 * prod(N+1) <= T_B.
+void sweep_counts(const ExecutionTimeModel& model,
+                  const systems::SystemConfig& system, CheckpointPlan& plan,
+                  const std::vector<int>& ladder, std::size_t dim,
+                  double pattern_so_far, Candidate& best,
+                  std::size_t& evals) {
+  if (dim == plan.counts.size()) {
+    ++evals;
+    const double t = model.expected_time(system, plan);
+    if (t < best.time) {
+      best.time = t;
+      best.tau0 = plan.tau0;
+      best.counts = plan.counts;
+    }
+    return;
+  }
+  for (const int n : ladder) {
+    const double pattern = pattern_so_far * (n + 1);
+    if (plan.tau0 * pattern > system.base_time) break;  // ladder ascends
+    plan.counts[dim] = n;
+    sweep_counts(model, system, plan, ladder, dim + 1, pattern, best, evals);
+  }
+}
+
+}  // namespace
+
+std::vector<int> count_ladder(int max_count) {
+  std::vector<int> out;
+  int v = 0;
+  while (v <= max_count) {
+    out.push_back(v);
+    v = std::max(v + 1, (v * 5) / 4);
+  }
+  return out;
+}
+
+OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
+                                      const systems::SystemConfig& system,
+                                      const OptimizerOptions& options,
+                                      util::ThreadPool* pool) {
+  system.validate();
+
+  // Candidate level subsets.
+  std::vector<std::vector<int>> subsets;
+  if (!options.restrict_levels.empty()) {
+    subsets.push_back(options.restrict_levels);
+  } else {
+    const int L = system.levels();
+    const int min_k = options.allow_suffix_skipping ? 1 : L;
+    for (int K = L; K >= min_k; --K) {
+      std::vector<int> levels(static_cast<std::size_t>(K));
+      for (int i = 0; i < K; ++i) levels[static_cast<std::size_t>(i)] = i;
+      subsets.push_back(std::move(levels));
+    }
+  }
+
+  const std::vector<int> ladder = count_ladder(options.max_count);
+  const std::vector<double> taus = log_grid(
+      options.tau_min, system.base_time * (1.0 - 1e-9),
+      options.coarse_tau_points);
+
+  Candidate global;
+  std::vector<int> global_levels;
+  std::size_t total_evals = 0;
+
+  for (const auto& levels : subsets) {
+    const std::size_t dims = levels.size() - 1;
+
+    // Coarse pass: each tau0 slice finds its own best, written to a
+    // private slot; the reduction below is serial and deterministic.
+    std::vector<Candidate> slice(taus.size());
+    std::vector<std::size_t> slice_evals(taus.size(), 0);
+    util::parallel_for(pool, taus.size(), [&](std::size_t ti) {
+      CheckpointPlan plan;
+      plan.tau0 = taus[ti];
+      plan.levels = levels;
+      plan.counts.assign(dims, 0);
+      sweep_counts(model, system, plan, ladder, 0, 1.0, slice[ti],
+                   slice_evals[ti]);
+    });
+
+    Candidate best;
+    for (const auto& c : slice) {
+      if (c.time < best.time) best = c;
+    }
+    for (const auto e : slice_evals) total_evals += e;
+    if (!std::isfinite(best.time)) continue;
+
+    // Refinement: coordinate descent over tau0 and each count.
+    static constexpr double kTauFactors[] = {0.80, 0.90, 0.95, 0.98,
+                                             1.02, 1.05, 1.10, 1.25};
+    static constexpr int kCountSteps[] = {-4, -2, -1, 1, 2, 4};
+    CheckpointPlan plan;
+    plan.levels = levels;
+    for (int round = 0; round < options.refine_rounds; ++round) {
+      Candidate improved = best;
+      for (const double f : kTauFactors) {
+        const double tau = best.tau0 * f;
+        if (tau <= 0.0 || tau >= system.base_time) continue;
+        plan.tau0 = tau;
+        plan.counts = best.counts;
+        ++total_evals;
+        const double t = model.expected_time(system, plan);
+        if (t < improved.time) {
+          improved = Candidate{t, tau, best.counts};
+        }
+      }
+      for (std::size_t d = 0; d < dims; ++d) {
+        for (const int step : kCountSteps) {
+          const int n = best.counts[d] + step;
+          if (n < 0 || n > options.max_count) continue;
+          plan.tau0 = best.tau0;
+          plan.counts = best.counts;
+          plan.counts[d] = n;
+          ++total_evals;
+          const double t = model.expected_time(system, plan);
+          if (t < improved.time) {
+            improved = Candidate{t, best.tau0, plan.counts};
+          }
+        }
+      }
+      if (improved.time >= best.time) break;  // converged
+      best = std::move(improved);
+    }
+
+    if (best.time < global.time) {
+      global = std::move(best);
+      global_levels = levels;
+    }
+  }
+
+  if (!std::isfinite(global.time)) {
+    throw std::runtime_error("optimize_intervals: no feasible plan for " +
+                             system.name);
+  }
+
+  OptimizationResult result;
+  result.plan.tau0 = global.tau0;
+  result.plan.levels = std::move(global_levels);
+  result.plan.counts = std::move(global.counts);
+  result.expected_time = global.time;
+  result.efficiency = system.base_time / global.time;
+  result.evaluations = total_evals;
+  return result;
+}
+
+}  // namespace mlck::core

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/model.h"
+#include "core/plan.h"
+#include "util/thread_pool.h"
+
+namespace mlck::core {
+
+/// Controls for the brute-force interval search of paper Sec. III-C.
+///
+/// The paper sweeps every point of a bounded region; we keep that
+/// guarantee-by-coverage spirit but split the sweep into a coarse pass
+/// (log-spaced tau0 grid x a geometric ladder of integer counts) followed
+/// by deterministic coordinate-descent refinement around the best coarse
+/// point. Tests verify the two-pass search matches an exhaustive sweep on
+/// systems small enough to brute-force densely.
+struct OptimizerOptions {
+  int coarse_tau_points = 96;   ///< log-spaced tau0 samples in (tau_min, T_B)
+  double tau_min = 1e-3;        ///< minutes; lower edge of the tau0 grid
+  int max_count = 128;          ///< upper bound on each pattern count N_k
+  int refine_rounds = 64;       ///< cap on coordinate-descent iterations
+
+  /// Additionally search plans that drop the most expensive suffix of
+  /// levels (Sec. IV-F: short applications skip level L and risk a scratch
+  /// restart). Disable to reproduce techniques that always use all levels
+  /// (Moody et al.).
+  bool allow_suffix_skipping = true;
+
+  /// When set, restrict every candidate plan to exactly these system
+  /// levels (e.g. {L-2, L-1} for the Di et al. two-level technique, or
+  /// {L-1} for traditional checkpoint/restart). Overrides suffix skipping.
+  std::vector<int> restrict_levels;
+};
+
+/// Outcome of an interval search.
+struct OptimizationResult {
+  CheckpointPlan plan;
+  double expected_time = 0.0;
+  double efficiency = 0.0;       ///< T_B / expected_time per the model
+  std::size_t evaluations = 0;   ///< model evaluations performed
+};
+
+/// Minimizes model.expected_time over the bounded plan space for
+/// @p system. The returned plan is feasible (finite expected time);
+/// throws std::runtime_error if no candidate is feasible.
+///
+/// @p pool parallelizes the coarse sweep across tau0 slices; results are
+/// identical with or without a pool.
+OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
+                                      const systems::SystemConfig& system,
+                                      const OptimizerOptions& options = {},
+                                      util::ThreadPool* pool = nullptr);
+
+/// The geometric candidate ladder for pattern counts used by the coarse
+/// pass: 0,1,2,... then ~1.25x steps up to @p max_count. Exposed for
+/// tests.
+std::vector<int> count_ladder(int max_count);
+
+}  // namespace mlck::core

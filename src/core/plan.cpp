@@ -1,0 +1,97 @@
+#include "core/plan.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace mlck::core {
+
+long long CheckpointPlan::interval_period(int k) const noexcept {
+  long long period = 1;
+  for (int j = 0; j < k; ++j) period *= counts[static_cast<std::size_t>(j)] + 1;
+  return period;
+}
+
+long long CheckpointPlan::pattern_period() const noexcept {
+  return interval_period(used_levels() - 1);
+}
+
+double CheckpointPlan::work_per_top_period() const noexcept {
+  return tau0 * static_cast<double>(pattern_period());
+}
+
+double CheckpointPlan::top_periods(double base_time) const noexcept {
+  return base_time / work_per_top_period();
+}
+
+int CheckpointPlan::checkpoint_after_interval(long long j) const noexcept {
+  int best = 0;  // P_0 == 1 divides everything
+  for (int k = 1; k < used_levels(); ++k) {
+    if (j % interval_period(k) == 0) best = k;
+  }
+  return best;
+}
+
+std::optional<int> CheckpointPlan::restart_level_for_severity(
+    int severity) const noexcept {
+  for (const int level : levels) {
+    if (level >= severity) return level;
+  }
+  return std::nullopt;
+}
+
+void CheckpointPlan::validate(const systems::SystemConfig& system) const {
+  if (!(tau0 > 0.0)) throw std::invalid_argument("plan: tau0 must be > 0");
+  if (levels.empty()) throw std::invalid_argument("plan: no levels in use");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i] < 0 || levels[i] >= system.levels()) {
+      throw std::invalid_argument("plan: level index out of range");
+    }
+    if (i > 0 && levels[i] <= levels[i - 1]) {
+      throw std::invalid_argument("plan: levels must be strictly ascending");
+    }
+  }
+  if (counts.size() + 1 != levels.size()) {
+    throw std::invalid_argument("plan: counts must have size levels-1");
+  }
+  for (const int n : counts) {
+    if (n < 0) throw std::invalid_argument("plan: negative pattern count");
+  }
+}
+
+std::string CheckpointPlan::to_string() const {
+  std::ostringstream os;
+  os << "tau0=" << tau0 << " levels=[";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i) os << ',';
+    os << levels[i];
+  }
+  os << "] counts=[";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i) os << ',';
+    os << counts[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+CheckpointPlan CheckpointPlan::full_hierarchy(double tau0,
+                                              std::vector<int> counts) {
+  CheckpointPlan plan;
+  plan.tau0 = tau0;
+  plan.levels.resize(counts.size() + 1);
+  for (std::size_t i = 0; i < plan.levels.size(); ++i) {
+    plan.levels[i] = static_cast<int>(i);
+  }
+  plan.counts = std::move(counts);
+  return plan;
+}
+
+CheckpointPlan CheckpointPlan::single_level(double tau0, int system_level) {
+  CheckpointPlan plan;
+  plan.tau0 = tau0;
+  plan.levels = {system_level};
+  return plan;
+}
+
+}  // namespace mlck::core

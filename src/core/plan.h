@@ -1,0 +1,87 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "systems/system_config.h"
+
+namespace mlck::core {
+
+/// A pattern-based multilevel checkpoint schedule (paper Fig. 1).
+///
+/// The application computes in intervals of tau0 minutes. After every
+/// interval a checkpoint is taken; its level follows the SCR pattern given
+/// by `counts`: counts[k] checkpoints of used-level k precede each
+/// checkpoint of used-level k+1. A higher-level checkpoint subsumes all
+/// lower used levels (SCR flushes downward), so the level taken after the
+/// j-th interval is the *highest* used level whose period divides j.
+///
+/// `levels` lists the system checkpoint levels the plan actually uses, in
+/// ascending order. This generalizes the paper's two schedule families:
+///   * Dauwe/Moody/Benoit plans use levels {0..L-1} (counts may be 0,
+///     which merges a level into the one above, exactly as N_i = 0 does in
+///     the paper's equations);
+///   * traditional checkpoint/restart (Daly/Young) uses only the PFS,
+///     levels {L-1};
+///   * short-application plans omit a suffix of expensive levels
+///     (paper Sec. IV-F); severities above the top used level then force a
+///     restart of the application from scratch.
+struct CheckpointPlan {
+  /// Computation interval tau0 in minutes. Must be > 0.
+  double tau0 = 0.0;
+
+  /// Ascending, unique system level indices in use (0-based; paper levels
+  /// are 1-based). Non-empty.
+  std::vector<int> levels;
+
+  /// counts[k] = N_{k+1} of the paper: how many used-level-k checkpoints
+  /// occur before each used-level-(k+1) checkpoint. Size levels.size()-1,
+  /// entries >= 0.
+  std::vector<int> counts;
+
+  /// Number of used levels K.
+  int used_levels() const noexcept { return static_cast<int>(levels.size()); }
+
+  /// Period, in tau0-intervals, between consecutive checkpoints of used
+  /// level k: P_0 = 1, P_k = prod_{j<k} (counts[j]+1).
+  long long interval_period(int k) const noexcept;
+
+  /// Period of the full pattern in tau0-intervals (= interval_period of
+  /// the top used level).
+  long long pattern_period() const noexcept;
+
+  /// Useful work accomplished per top-level period, minutes.
+  double work_per_top_period() const noexcept;
+
+  /// The paper's N_L: (real-valued) number of top-used-level checkpoint
+  /// periods in an application of the given baseline time.
+  double top_periods(double base_time) const noexcept;
+
+  /// Used-level index (0-based position in `levels`) of the checkpoint
+  /// taken after the j-th completed interval (j >= 1): the largest k whose
+  /// period divides j.
+  int checkpoint_after_interval(long long j) const noexcept;
+
+  /// Highest used *system* level.
+  int top_system_level() const noexcept { return levels.back(); }
+
+  /// Lowest used system level >= severity, or nullopt when the severity
+  /// exceeds every used level (restart from scratch).
+  std::optional<int> restart_level_for_severity(int severity) const noexcept;
+
+  /// Throws std::invalid_argument when malformed or inconsistent with the
+  /// system (levels out of range, counts size mismatch, tau0 <= 0).
+  void validate(const systems::SystemConfig& system) const;
+
+  /// Human-readable form, e.g. "tau0=3.25 levels=[0,1,3] counts=[4,2]".
+  std::string to_string() const;
+
+  /// Plan using every level of an L-level system.
+  static CheckpointPlan full_hierarchy(double tau0, std::vector<int> counts);
+
+  /// Traditional single-level plan checkpointing only @p system_level.
+  static CheckpointPlan single_level(double tau0, int system_level);
+};
+
+}  // namespace mlck::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "core/interval_schedule.h"
+#include "core/plan.h"
+#include "systems/system_config.h"
+#include "util/json.h"
+
+namespace mlck::core {
+
+/// JSON round-tripping for the configuration types, used by the `mlck`
+/// command-line tool and for archiving experiment inputs next to their
+/// outputs.
+///
+/// System document shape (times in minutes, as everywhere):
+/// {
+///   "name": "demo",
+///   "mtbf": 120.0,
+///   "severity_probability": [0.6, 0.3, 0.1],
+///   "checkpoint_cost": [0.05, 0.6, 6.0],
+///   "restart_cost": [0.05, 0.6, 6.0],     // optional: = checkpoint_cost
+///   "base_time": 480.0
+/// }
+///
+/// Plan document shape:
+/// { "tau0": 3.5, "levels": [0, 1, 2], "counts": [2, 1] }
+///
+/// Interval-schedule document shape:
+/// { "levels": [0, 1], "periods": [4.4, 15.5] }
+util::Json to_json(const systems::SystemConfig& system);
+systems::SystemConfig system_from_json(const util::Json& doc);
+
+util::Json to_json(const CheckpointPlan& plan);
+CheckpointPlan plan_from_json(const util::Json& doc);
+
+util::Json to_json(const IntervalSchedule& schedule);
+IntervalSchedule interval_schedule_from_json(const util::Json& doc);
+
+/// Reads a whole file; throws std::runtime_error naming the path on I/O
+/// failure.
+std::string read_file(const std::string& path);
+
+/// Writes a whole file (overwrite); throws std::runtime_error on failure.
+void write_file(const std::string& path, const std::string& contents);
+
+/// Resolves a "--system=" argument: a Table I name ("M", "B", "D1"..)
+/// or a path to a JSON system document.
+systems::SystemConfig load_system(const std::string& name_or_path);
+
+}  // namespace mlck::core

@@ -1,0 +1,21 @@
+#include "core/technique.h"
+
+namespace mlck::core {
+
+DauweTechnique::DauweTechnique(DauweOptions model_options,
+                               OptimizerOptions optimizer_options)
+    : model_(model_options), optimizer_options_(optimizer_options) {}
+
+TechniqueResult DauweTechnique::do_select_plan(
+    const systems::SystemConfig& system, util::ThreadPool* pool) const {
+  const OptimizationResult best =
+      optimize_intervals(model_, system, optimizer_options_, pool);
+  TechniqueResult result;
+  result.technique = name();
+  result.plan = best.plan;
+  result.predicted_time = best.expected_time;
+  result.predicted_efficiency = best.efficiency;
+  return result;
+}
+
+}  // namespace mlck::core

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/dauwe_model.h"
+#include "core/model.h"
+#include "core/optimizer.h"
+#include "core/plan.h"
+#include "util/thread_pool.h"
+
+namespace mlck::core {
+
+/// What a checkpoint-interval selection technique hands to the runtime: a
+/// concrete plan plus the technique's own forecast of how it will perform
+/// (the "diamond" values in the paper's figures).
+struct TechniqueResult {
+  std::string technique;
+  CheckpointPlan plan;
+  double predicted_time = 0.0;
+  double predicted_efficiency = 0.0;
+};
+
+/// A complete checkpoint-interval selection strategy: a performance model
+/// plus a policy for searching the plan space with it. One implementation
+/// exists per compared technique (Dauwe, Moody, Di, Benoit, Daly, Young).
+class Technique {
+ public:
+  virtual ~Technique() = default;
+
+  /// Display name used in tables ("Dauwe et al.", ...).
+  virtual std::string name() const = 0;
+
+  /// Chooses checkpoint intervals for @p system and predicts their
+  /// performance. @p pool, when given, parallelizes internal sweeps.
+  TechniqueResult select_plan(const systems::SystemConfig& system,
+                              util::ThreadPool* pool = nullptr) const {
+    return do_select_plan(system, pool);
+  }
+
+ protected:
+  /// Implementation hook (non-virtual interface keeps the defaulted pool
+  /// argument in one place).
+  virtual TechniqueResult do_select_plan(const systems::SystemConfig& system,
+                                         util::ThreadPool* pool) const = 0;
+};
+
+/// The paper's technique: the Dauwe execution-time model driving the
+/// bounded brute-force sweep of Sec. III-C, including the Sec. IV-F
+/// option of omitting expensive top levels for short applications.
+class DauweTechnique : public Technique {
+ public:
+  explicit DauweTechnique(DauweOptions model_options = {},
+                          OptimizerOptions optimizer_options = {});
+
+  std::string name() const override { return "Dauwe et al."; }
+
+  const DauweModel& model() const noexcept { return model_; }
+
+ protected:
+  TechniqueResult do_select_plan(const systems::SystemConfig& system,
+                                 util::ThreadPool* pool) const override;
+
+ private:
+  DauweModel model_;
+  OptimizerOptions optimizer_options_;
+};
+
+}  // namespace mlck::core

@@ -1,0 +1,55 @@
+#include "energy/power_model.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mlck::energy {
+
+double PowerModel::energy(const sim::SimBreakdown& b) const noexcept {
+  const double compute_time =
+      b.useful + b.rework_compute + b.rework_checkpoint + b.rework_restart;
+  const double checkpoint_time = b.checkpoint_ok + b.checkpoint_failed;
+  const double restart_time = b.restart_ok + b.restart_failed;
+  return compute * compute_time + checkpoint * checkpoint_time +
+         restart * restart_time;
+}
+
+double PowerModel::energy(const core::ModelBreakdown& b) const noexcept {
+  const double compute_time = b.compute + b.rework_compute +
+                              b.rework_checkpoint + b.scratch_rework;
+  const double checkpoint_time = b.checkpoint_ok + b.checkpoint_failed;
+  const double restart_time = b.restart_ok + b.restart_failed;
+  return compute * compute_time + checkpoint * checkpoint_time +
+         restart * restart_time;
+}
+
+void PowerModel::validate() const {
+  if (compute < 0.0 || checkpoint < 0.0 || restart < 0.0) {
+    throw std::invalid_argument("PowerModel: negative power draw");
+  }
+}
+
+EnergyObjectiveModel::EnergyObjectiveModel(
+    const core::ExecutionTimeModel& base, PowerModel power,
+    Objective objective)
+    : base_(base), power_(power), objective_(objective) {
+  power_.validate();
+}
+
+double EnergyObjectiveModel::expected_time(
+    const systems::SystemConfig& system,
+    const core::CheckpointPlan& plan) const {
+  if (objective_ == Objective::kTime) {
+    return base_.expected_time(system, plan);
+  }
+  const core::Prediction prediction = base_.predict(system, plan);
+  if (!std::isfinite(prediction.expected_time)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double e = power_.energy(prediction.breakdown);
+  if (objective_ == Objective::kEnergy) return e;
+  return e * prediction.expected_time;  // EDP
+}
+
+}  // namespace mlck::energy

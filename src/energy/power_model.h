@@ -1,0 +1,60 @@
+#pragma once
+
+#include "core/model.h"
+#include "sim/accounting.h"
+
+namespace mlck::energy {
+
+/// Per-activity electrical power draw, in arbitrary consistent units
+/// (e.g. MW for an exascale machine). The paper's test system B comes
+/// from Balaprakash et al. [19], which studies exactly this energy /
+/// run-time trade-off for multilevel checkpointing; this module is the
+/// library's implementation of that extension.
+///
+/// Checkpoint and restart phases typically draw less than full-tilt
+/// computation (CPUs stall on I/O), which is what makes energy-optimal
+/// schedules differ from time-optimal ones: checkpoint time is cheaper
+/// than compute time, so the energy optimum checkpoints more eagerly
+/// than the time optimum whenever failures are frequent.
+struct PowerModel {
+  double compute = 1.0;     ///< during useful work and re-computation
+  double checkpoint = 0.7;  ///< during checkpoint I/O (success or failure)
+  double restart = 0.6;     ///< during restart I/O (success or failure)
+
+  /// Energy of one simulated run from its time breakdown.
+  double energy(const sim::SimBreakdown& breakdown) const noexcept;
+
+  /// Expected energy of a run from a model prediction's breakdown.
+  double energy(const core::ModelBreakdown& breakdown) const noexcept;
+
+  /// Throws std::invalid_argument on negative draws.
+  void validate() const;
+};
+
+/// What the energy-aware optimizer minimizes.
+enum class Objective {
+  kTime,    ///< expected completion time (the paper's objective)
+  kEnergy,  ///< expected energy
+  kEdp,     ///< energy-delay product, E * T
+};
+
+/// ExecutionTimeModel adapter that scores plans by expected energy (or
+/// EDP) under the Dauwe model's event breakdown, so the standard
+/// brute-force optimizer can search for energy-optimal checkpoint
+/// intervals unchanged. The returned scalar is the objective value, not
+/// a time; only its ordering matters to the optimizer.
+class EnergyObjectiveModel : public core::ExecutionTimeModel {
+ public:
+  EnergyObjectiveModel(const core::ExecutionTimeModel& base,
+                       PowerModel power, Objective objective);
+
+  double expected_time(const systems::SystemConfig& system,
+                       const core::CheckpointPlan& plan) const override;
+
+ private:
+  const core::ExecutionTimeModel& base_;
+  PowerModel power_;
+  Objective objective_;
+};
+
+}  // namespace mlck::energy

@@ -1,0 +1,64 @@
+#include "exp/experiments.h"
+
+#include <stdexcept>
+
+#include "systems/scaling.h"
+
+namespace mlck::exp {
+
+const TechniqueOutcome& ScenarioResult::outcome(
+    const std::string& technique) const {
+  for (const auto& o : outcomes) {
+    if (o.technique == technique) return o;
+  }
+  throw std::out_of_range("no outcome for technique: " + technique);
+}
+
+TechniqueOutcome evaluate_technique(const core::Technique& technique,
+                                    const systems::SystemConfig& system,
+                                    const ExperimentOptions& options) {
+  TechniqueOutcome out;
+  const core::TechniqueResult selected =
+      technique.select_plan(system, options.pool);
+  out.technique = selected.technique;
+  out.plan = selected.plan;
+  out.predicted_time = selected.predicted_time;
+  out.predicted_efficiency = selected.predicted_efficiency;
+  out.sim = sim::run_trials(system, selected.plan, options.trials,
+                            options.seed, options.sim, options.pool);
+  return out;
+}
+
+ScenarioResult run_scenario(
+    const systems::SystemConfig& system, const std::string& label,
+    const std::vector<std::unique_ptr<core::Technique>>& techniques,
+    const ExperimentOptions& options) {
+  ScenarioResult result;
+  result.label = label;
+  result.system = system;
+  result.outcomes.reserve(techniques.size());
+  for (const auto& technique : techniques) {
+    result.outcomes.push_back(
+        evaluate_technique(*technique, system, options));
+  }
+  return result;
+}
+
+std::vector<ScaledScenario> scaled_b_grid(
+    double base_time, const std::vector<double>& pfs_costs) {
+  std::vector<ScaledScenario> grid;
+  for (const double pfs : pfs_costs) {
+    for (const double mtbf : systems::figure4_mtbf_grid()) {
+      ScaledScenario sc;
+      sc.mtbf = mtbf;
+      sc.pfs_cost = pfs;
+      sc.system = systems::scaled_system_b(mtbf, pfs, base_time);
+      sc.label = "PFS=" + std::to_string(static_cast<int>(pfs)) +
+                 "m MTBF=" + std::to_string(static_cast<int>(mtbf)) + "m";
+      grid.push_back(std::move(sc));
+    }
+  }
+  return grid;
+}
+
+}  // namespace mlck::exp

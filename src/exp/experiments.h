@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/technique.h"
+#include "sim/trial_runner.h"
+#include "systems/system_config.h"
+#include "util/thread_pool.h"
+
+namespace mlck::exp {
+
+/// Shared controls for every experiment driver. Defaults reproduce the
+/// paper's settings (200 trials; Fig. 5 raises trials to 400); tests dial
+/// the trial count down.
+struct ExperimentOptions {
+  std::size_t trials = 200;
+  std::uint64_t seed = 0x5eed2018c0ffeeULL;
+  sim::SimOptions sim;
+  util::ThreadPool* pool = nullptr;
+};
+
+/// One technique's bar in a figure: its selected plan, its own forecast
+/// (the diamond), and the simulated outcome (the bar and error whiskers).
+struct TechniqueOutcome {
+  std::string technique;
+  core::CheckpointPlan plan;
+  double predicted_efficiency = 0.0;
+  double predicted_time = 0.0;
+  sim::TrialStats sim;
+
+  /// Prediction error as plotted in Figure 6: predicted minus simulated
+  /// efficiency.
+  double prediction_error() const noexcept {
+    return predicted_efficiency - sim.efficiency.mean;
+  }
+};
+
+/// One x-axis position of a figure: a system/scenario and every
+/// technique's outcome on it.
+struct ScenarioResult {
+  std::string label;
+  systems::SystemConfig system;
+  std::vector<TechniqueOutcome> outcomes;
+
+  /// Outcome of the named technique; throws std::out_of_range if absent.
+  const TechniqueOutcome& outcome(const std::string& technique) const;
+};
+
+/// Selects intervals with @p technique and validates them with the
+/// simulator (@p options.trials independent runs).
+TechniqueOutcome evaluate_technique(const core::Technique& technique,
+                                    const systems::SystemConfig& system,
+                                    const ExperimentOptions& options);
+
+/// Runs every technique on one system.
+ScenarioResult run_scenario(
+    const systems::SystemConfig& system, const std::string& label,
+    const std::vector<std::unique_ptr<core::Technique>>& techniques,
+    const ExperimentOptions& options);
+
+/// The Figure 4 / Figure 5 scenario grid: Table I system B with the MTBF
+/// and PFS-cost sweeps applied, at the given application base time.
+struct ScaledScenario {
+  double mtbf = 0.0;
+  double pfs_cost = 0.0;
+  systems::SystemConfig system;
+  std::string label;
+};
+std::vector<ScaledScenario> scaled_b_grid(double base_time,
+                                          const std::vector<double>& pfs_costs);
+
+}  // namespace mlck::exp

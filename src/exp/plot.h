@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/experiments.h"
+
+namespace mlck::exp {
+
+/// Gnuplot emitters: each writes a whitespace-separated .dat stream and a
+/// matching .gp script so every reproduced figure can be rendered as an
+/// actual plot (bars + error whiskers + prediction diamonds, like the
+/// paper's). The emitters only format data the experiment harness already
+/// produced; they never recompute anything.
+///
+/// Typical use from a driver:
+///   write_efficiency_dat(dat_file, rows);
+///   write_efficiency_gp(gp_file, "fig2.dat", "Figure 2", techniques);
+/// then `gnuplot fig2.gp` renders fig2.png.
+
+/// Columns: index label, then per technique: sim mean, stddev, prediction.
+void write_efficiency_dat(std::ostream& os,
+                          const std::vector<ScenarioResult>& rows);
+
+/// Clustered-bar script with error bars and prediction markers for a .dat
+/// produced by write_efficiency_dat. @p technique_names must match the
+/// row outcomes' order.
+void write_efficiency_gp(std::ostream& os, const std::string& dat_path,
+                         const std::string& title,
+                         const std::vector<std::string>& technique_names,
+                         const std::string& output_png = "figure.png");
+
+/// Columns: index label, then per technique the prediction error
+/// (predicted - simulated), rows sorted by |error| of @p sort_technique.
+void write_prediction_error_dat(std::ostream& os,
+                                const std::vector<ScenarioResult>& rows,
+                                const std::string& sort_technique);
+
+/// Scatter/line script for the Figure 6 error plot.
+void write_prediction_error_gp(
+    std::ostream& os, const std::string& dat_path, const std::string& title,
+    const std::vector<std::string>& technique_names,
+    const std::string& output_png = "errors.png");
+
+}  // namespace mlck::exp

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/experiments.h"
+
+namespace mlck::exp {
+
+/// Prints an efficiency-comparison table (one row per scenario, one
+/// column group per technique) in the shape of paper Figures 2, 4, 5:
+/// simulated mean, standard deviation, and each technique's own
+/// prediction.
+void print_efficiency_table(std::ostream& os, const std::string& title,
+                            const std::vector<ScenarioResult>& rows);
+
+/// Prints the Figure 3 time-breakdown table: per scenario and technique,
+/// the share of wall-clock time spent in each event class.
+void print_breakdown_table(std::ostream& os, const std::string& title,
+                           const std::vector<ScenarioResult>& rows);
+
+/// Prints the Figure 6 prediction-error table: predicted minus simulated
+/// efficiency per technique, rows sorted by the |error| of
+/// @p sort_technique (the paper sorts by Moody et al.).
+void print_prediction_error_table(std::ostream& os, const std::string& title,
+                                  const std::vector<ScenarioResult>& rows,
+                                  const std::string& sort_technique);
+
+/// Writes the efficiency comparison as CSV (one line per scenario x
+/// technique) for downstream plotting.
+void write_efficiency_csv(std::ostream& os,
+                          const std::vector<ScenarioResult>& rows);
+
+}  // namespace mlck::exp

@@ -1,0 +1,32 @@
+#include "math/exponential.h"
+
+#include <cmath>
+
+namespace mlck::math {
+
+double failure_probability(double t, double rate) noexcept {
+  if (t <= 0.0 || rate <= 0.0) return 0.0;
+  return -std::expm1(-rate * t);
+}
+
+double survival(double t, double rate) noexcept {
+  if (t <= 0.0 || rate <= 0.0) return 1.0;
+  return std::exp(-rate * t);
+}
+
+double truncated_mean(double t, double rate) noexcept {
+  if (t <= 0.0) return 0.0;
+  if (rate <= 0.0) return 0.5 * t;
+  const double u = rate * t;
+  if (u < 1e-4) {
+    // E(t,X)/t = 1/u - 1/(e^u - 1) = 1/2 - u/12 + u^3/720 - ... (Bernoulli
+    // series); the leading terms keep full double precision where the
+    // closed form would cancel catastrophically.
+    return t * (0.5 - u / 12.0 + u * u * u / 720.0);
+  }
+  const double p = -std::expm1(-u);          // 1 - e^{-u}
+  const double num = p - u * std::exp(-u);   // 1 - e^{-u}(1 + u)
+  return t * num / (u * p);
+}
+
+}  // namespace mlck::math

@@ -1,0 +1,28 @@
+#pragma once
+
+namespace mlck::math {
+
+/// P(t, X) = 1 - e^{-Xt}: probability that an exponential failure process
+/// with rate X produces at least one failure within a window of length t
+/// (paper Eqn. 1). Returns 0 for non-positive t or rate.
+double failure_probability(double t, double rate) noexcept;
+
+/// e^{-Xt}: probability the window of length t completes failure-free.
+double survival(double t, double rate) noexcept;
+
+/// E(t, X): expected failure position within a window of length t, given
+/// that a failure occurred in the window — the mean of the exponential
+/// distribution truncated to [0, t] (paper Eqn. 2):
+///
+///   E(t, X) = (1/X - e^{-Xt} (1/X + t)) / (1 - e^{-Xt})
+///
+/// Evaluated in the numerically stable form
+///
+///   E(t, X) = t * (-expm1(-u) - u e^{-u}) / (u * -expm1(-u)),   u = X t,
+///
+/// with the series limit t * (1/2 - u/12 + u^2/720) for tiny u. Degenerate
+/// inputs take the distribution limits: rate <= 0 behaves as the uniform
+/// limit t/2; t <= 0 yields 0.
+double truncated_mean(double t, double rate) noexcept;
+
+}  // namespace mlck::math

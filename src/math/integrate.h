@@ -1,0 +1,17 @@
+#pragma once
+
+#include <functional>
+
+namespace mlck::math {
+
+/// Adaptive Simpson quadrature of @p f over [a, b] to absolute tolerance
+/// @p tol. Deterministic; recursion depth capped (the result of the last
+/// refinement is returned if the cap is hit).
+///
+/// Used for truncated means of non-exponential failure laws, where no
+/// closed form exists. The integrands are smooth CDFs, so convergence is
+/// fast; tests compare against closed forms where those exist.
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-10);
+
+}  // namespace mlck::math

@@ -1,0 +1,16 @@
+#include "math/retry.h"
+
+#include <cmath>
+
+namespace mlck::math {
+
+double expected_retries(double t, double rate) noexcept {
+  if (t <= 0.0 || rate <= 0.0) return 0.0;
+  return std::expm1(rate * t);
+}
+
+double expected_retries(double t, double rate, double n) noexcept {
+  return expected_retries(t, rate) * n;
+}
+
+}  // namespace mlck::math

@@ -1,0 +1,23 @@
+#pragma once
+
+namespace mlck::math {
+
+/// Expected number of *failed* attempts before an operation of duration t
+/// completes without being hit by an exponential failure process of the
+/// given rate.
+///
+/// The attempt count is geometric with success probability e^{-Xt}, so the
+/// expected number of failures is P/(1-P) = e^{Xt} - 1 = expm1(Xt). This is
+/// the negative-binomial estimator the paper uses for failed checkpoints
+/// (alpha_i, Eqn. 8), failed restarts (zeta_i, Eqn. 12) and failures per
+/// computation interval (gamma_i, Eqn. 5), evaluated exactly instead of via
+/// the P/(1-P) quotient, which loses precision as P -> 1.
+///
+/// Returns 0 for non-positive t or rate; +inf is possible (and meaningful:
+/// an operation longer than a few MTBFs essentially never completes).
+double expected_retries(double t, double rate) noexcept;
+
+/// expected_retries for n independent operations of duration t each.
+double expected_retries(double t, double rate, double n) noexcept;
+
+}  // namespace mlck::math

@@ -1,0 +1,81 @@
+#include "models/benoit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/effective.h"
+
+namespace mlck::models {
+
+double benoit_optimal_frequency(double lambda, double delta) noexcept {
+  if (delta <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(lambda / (2.0 * delta));
+}
+
+double benoit_waste_rate(const systems::SystemConfig& system,
+                         const core::CheckpointPlan& plan) {
+  const core::EffectiveSystem eff = core::make_effective(system, plan);
+  double waste = 0.0;
+  for (int k = 0; k < plan.used_levels(); ++k) {
+    const auto& lvl = eff.level[static_cast<std::size_t>(k)];
+    // Work between consecutive level-k checkpoints under the pattern.
+    const double interval =
+        plan.tau0 * static_cast<double>(plan.interval_period(k));
+    waste += lvl.checkpoint_cost / interval;
+    waste += lvl.lambda * (interval / 2.0 + lvl.restart_cost);
+  }
+  // First-order cost of severities with no covering level: each such
+  // failure loses (on average) half the run and a scratch restart is free.
+  waste += eff.scratch_lambda * system.base_time / 2.0;
+  return waste;
+}
+
+double BenoitModel::expected_time(const systems::SystemConfig& system,
+                                  const core::CheckpointPlan& plan) const {
+  const double pattern_work = plan.work_per_top_period();
+  if (pattern_work > system.base_time) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return system.base_time * (1.0 + benoit_waste_rate(system, plan));
+}
+
+core::TechniqueResult BenoitTechnique::do_select_plan(
+    const systems::SystemConfig& system, util::ThreadPool* /*pool*/) const {
+  const int L = system.levels();
+
+  // Relaxed per-level optimal inter-checkpoint work intervals.
+  std::vector<double> interval(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l) {
+    const double x = benoit_optimal_frequency(
+        system.lambda(l), system.checkpoint_cost[static_cast<std::size_t>(l)]);
+    interval[static_cast<std::size_t>(l)] =
+        (x > 0.0) ? 1.0 / x : system.base_time;
+  }
+
+  // Round onto a nested pattern bottom-up: tau0 is the level-1 interval;
+  // each higher level's count makes its period the nearest multiple of
+  // the current one. A relaxed interval shorter than the level below's
+  // rounds to count 0 (the level rides along with the one above).
+  core::CheckpointPlan plan;
+  plan.tau0 = std::min(interval[0], system.base_time / 2.0);
+  plan.levels.resize(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l) plan.levels[static_cast<std::size_t>(l)] = l;
+  plan.counts.assign(static_cast<std::size_t>(L - 1), 0);
+  double period = plan.tau0;
+  for (int l = 1; l < L; ++l) {
+    const double ratio = interval[static_cast<std::size_t>(l)] / period;
+    const int count = std::max(0, static_cast<int>(std::lround(ratio)) - 1);
+    plan.counts[static_cast<std::size_t>(l - 1)] = count;
+    period *= static_cast<double>(count + 1);
+  }
+
+  core::TechniqueResult result;
+  result.technique = name();
+  result.plan = plan;
+  result.predicted_time = BenoitModel{}.expected_time(system, plan);
+  result.predicted_efficiency = system.base_time / result.predicted_time;
+  return result;
+}
+
+}  // namespace mlck::models

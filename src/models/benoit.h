@@ -1,0 +1,49 @@
+#pragma once
+
+#include "core/model.h"
+#include "core/technique.h"
+
+namespace mlck::models {
+
+/// Benoit et al.'s first-order waste rate for a pattern with per-level
+/// checkpoint frequencies x_l (checkpoints per minute of work):
+///
+///   H = sum_l x_l delta_l  +  sum_l lambda_l (1 / (2 x_l) + R_l)
+///
+/// i.e. checkpoint overhead plus, per failure, half the level-l
+/// inter-checkpoint interval of lost work and one restart. First order in
+/// lambda: failures during checkpoints and restarts are ignored — the
+/// assumption the paper identifies as the source of the technique's
+/// optimism (Sec. IV-C).
+double benoit_waste_rate(const systems::SystemConfig& system,
+                         const core::CheckpointPlan& plan);
+
+/// Closed-form relaxed optimum frequency for level l:
+/// x_l* = sqrt(lambda_l / (2 delta_l)); the resulting first-order optimal
+/// waste is H* = sum_l sqrt(2 lambda_l delta_l) + sum_l lambda_l R_l
+/// (Benoit et al. 2017, Theorem 1 shape).
+double benoit_optimal_frequency(double lambda, double delta) noexcept;
+
+/// ExecutionTimeModel adapter: T = T_B (1 + H(plan)). Used for tests and
+/// for optimizer-driven ablations of the closed-form pattern rounding.
+class BenoitModel : public core::ExecutionTimeModel {
+ public:
+  double expected_time(const systems::SystemConfig& system,
+                       const core::CheckpointPlan& plan) const override;
+};
+
+/// The paper's "Benoit et al." technique: closed-form per-level optimal
+/// frequencies rounded onto a nested pattern (all L levels, no
+/// base-time consideration), with the first-order model providing the
+/// (optimistic) prediction.
+class BenoitTechnique : public core::Technique {
+ public:
+  std::string name() const override { return "Benoit et al."; }
+
+ protected:
+  core::TechniqueResult do_select_plan(const systems::SystemConfig& system,
+                                       util::ThreadPool* pool)
+      const override;
+};
+
+}  // namespace mlck::models

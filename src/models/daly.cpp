@@ -1,0 +1,53 @@
+#include "models/daly.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mlck::models {
+
+double daly_expected_time(double base_time, double tau, double delta,
+                          double restart, double mtbf) noexcept {
+  if (tau <= 0.0 || mtbf <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return mtbf * std::exp(restart / mtbf) *
+         std::expm1((tau + delta) / mtbf) * base_time / tau;
+}
+
+double daly_optimal_interval(double delta, double mtbf) noexcept {
+  if (delta >= 2.0 * mtbf) return mtbf;
+  const double x = std::sqrt(delta / (2.0 * mtbf));
+  return std::sqrt(2.0 * delta * mtbf) *
+             (1.0 + x / 3.0 + x * x / 9.0) -
+         delta;
+}
+
+double DalyModel::expected_time(const systems::SystemConfig& system,
+                                const core::CheckpointPlan& plan) const {
+  if (plan.used_levels() != 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const auto level = static_cast<std::size_t>(plan.levels.front());
+  return daly_expected_time(system.base_time, plan.tau0,
+                            system.checkpoint_cost[level],
+                            system.restart_cost[level], system.mtbf);
+}
+
+core::TechniqueResult DalyTechnique::do_select_plan(
+    const systems::SystemConfig& system, util::ThreadPool* /*pool*/) const {
+  const int pfs = system.levels() - 1;
+  const auto level = static_cast<std::size_t>(pfs);
+  const double tau =
+      daly_optimal_interval(system.checkpoint_cost[level], system.mtbf);
+
+  core::TechniqueResult result;
+  result.technique = name();
+  result.plan = core::CheckpointPlan::single_level(tau, pfs);
+  result.predicted_time =
+      daly_expected_time(system.base_time, tau, system.checkpoint_cost[level],
+                         system.restart_cost[level], system.mtbf);
+  result.predicted_efficiency = system.base_time / result.predicted_time;
+  return result;
+}
+
+}  // namespace mlck::models

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "core/model.h"
+#include "core/technique.h"
+
+namespace mlck::models {
+
+/// Daly's exact expected runtime for traditional single-level
+/// checkpoint/restart under exponential failures (Daly 2006, the model the
+/// paper uses for its "traditional C/R" baseline):
+///
+///   T = M e^{R/M} (e^{(tau + delta)/M} - 1) * T_B / tau
+///
+/// where M is the MTBF over *all* failures (every failure restarts from
+/// the single checkpoint level). The formula already accounts for failures
+/// during checkpoints and restarts, which is why the paper finds Daly's
+/// predictions "highly accurate".
+double daly_expected_time(double base_time, double tau, double delta,
+                          double restart, double mtbf) noexcept;
+
+/// Daly's higher-order optimum checkpoint interval:
+///
+///   tau* = sqrt(2 delta M) [1 + (1/3) sqrt(delta / 2M)
+///                             + (1/9)(delta / 2M)] - delta   if delta < 2M
+///   tau* = M                                                 otherwise
+double daly_optimal_interval(double delta, double mtbf) noexcept;
+
+/// ExecutionTimeModel adapter: evaluates daly_expected_time for
+/// single-level plans. Plans using more than one level are rejected as
+/// infeasible (+inf) — traditional C/R has no notion of them.
+class DalyModel : public core::ExecutionTimeModel {
+ public:
+  double expected_time(const systems::SystemConfig& system,
+                       const core::CheckpointPlan& plan) const override;
+};
+
+/// The paper's "Daly" bars: checkpoint only to the PFS (highest level)
+/// with Daly's closed-form interval; predictions from the exact formula.
+class DalyTechnique : public core::Technique {
+ public:
+  std::string name() const override { return "Daly"; }
+
+ protected:
+  core::TechniqueResult do_select_plan(const systems::SystemConfig& system,
+                                       util::ThreadPool* pool)
+      const override;
+};
+
+}  // namespace mlck::models

@@ -1,0 +1,33 @@
+#include "models/interval_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlck::models {
+
+core::IntervalSchedule relaxed_interval_schedule(
+    const systems::SystemConfig& system) {
+  core::IntervalSchedule schedule;
+  const int L = system.levels();
+  schedule.levels.reserve(static_cast<std::size_t>(L));
+  schedule.periods.reserve(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l) {
+    const double delta =
+        system.checkpoint_cost[static_cast<std::size_t>(l)];
+    const double lambda = system.lambda(l);
+    double period;
+    if (lambda <= 0.0 || delta <= 0.0) {
+      // Free checkpoints piggyback on every minute; failure-free levels
+      // checkpoint as rarely as the clamp allows.
+      period = (delta <= 0.0) ? 1.0 : system.base_time / 2.0;
+    } else {
+      period = std::sqrt(2.0 * delta / lambda);
+    }
+    schedule.levels.push_back(l);
+    schedule.periods.push_back(
+        std::min(period, system.base_time / 2.0));
+  }
+  return schedule;
+}
+
+}  // namespace mlck::models

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "core/interval_schedule.h"
+#include "systems/system_config.h"
+
+namespace mlck::models {
+
+/// First-order *interval-based* multilevel schedule: each level k
+/// checkpoints every sqrt(2 delta_k / lambda_k) minutes of work — the
+/// relaxed per-level optimum with no nesting constraint. This is the
+/// schedule family Di et al. show can beat pattern-based optimization
+/// (paper Sec. II-C); the paper itself sticks to patterns because no
+/// production protocol supports free-running intervals. Implemented here
+/// as the library's extension experiment (see
+/// bench/ablation_interval_vs_pattern).
+///
+/// Periods are clamped to at most half the application base time so even
+/// rare-severity levels checkpoint at least once in short runs.
+core::IntervalSchedule relaxed_interval_schedule(
+    const systems::SystemConfig& system);
+
+}  // namespace mlck::models

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/technique.h"
+
+namespace mlck::models {
+
+/// The five techniques compared in paper Figure 2, in the paper's legend
+/// order: Dauwe et al., Di et al., Moody et al., Benoit et al., Daly.
+std::vector<std::unique_ptr<core::Technique>> figure2_techniques();
+
+/// The three best techniques of Figures 3-6: Dauwe, Di, Moody.
+std::vector<std::unique_ptr<core::Technique>> multilevel_techniques();
+
+/// Creates a technique by short name: "dauwe", "di", "moody", "benoit",
+/// "daly", "young". Throws std::out_of_range for unknown names.
+std::unique_ptr<core::Technique> make_technique(const std::string& name);
+
+}  // namespace mlck::models

@@ -1,0 +1,50 @@
+#include "models/young.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mlck::models {
+
+double young_optimal_interval(double delta, double mtbf) noexcept {
+  return std::sqrt(2.0 * delta * mtbf);
+}
+
+double young_expected_time(double base_time, double tau, double delta,
+                           double restart, double mtbf) noexcept {
+  if (tau <= 0.0 || mtbf <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double lambda = 1.0 / mtbf;
+  const double overhead = delta / tau + lambda * (tau / 2.0 + restart);
+  return base_time * (1.0 + overhead);
+}
+
+double YoungModel::expected_time(const systems::SystemConfig& system,
+                                 const core::CheckpointPlan& plan) const {
+  if (plan.used_levels() != 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const auto level = static_cast<std::size_t>(plan.levels.front());
+  return young_expected_time(system.base_time, plan.tau0,
+                             system.checkpoint_cost[level],
+                             system.restart_cost[level], system.mtbf);
+}
+
+core::TechniqueResult YoungTechnique::do_select_plan(
+    const systems::SystemConfig& system, util::ThreadPool* /*pool*/) const {
+  const int pfs = system.levels() - 1;
+  const auto level = static_cast<std::size_t>(pfs);
+  const double tau =
+      young_optimal_interval(system.checkpoint_cost[level], system.mtbf);
+
+  core::TechniqueResult result;
+  result.technique = name();
+  result.plan = core::CheckpointPlan::single_level(tau, pfs);
+  result.predicted_time =
+      young_expected_time(system.base_time, tau, system.checkpoint_cost[level],
+                          system.restart_cost[level], system.mtbf);
+  result.predicted_efficiency = system.base_time / result.predicted_time;
+  return result;
+}
+
+}  // namespace mlck::models

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "core/model.h"
+#include "core/technique.h"
+
+namespace mlck::models {
+
+/// Young's first-order optimum checkpoint interval tau* = sqrt(2 delta M)
+/// (Young 1974). The historical root of the field; kept as a reference
+/// baseline and as a sanity anchor for the optimizers (every technique
+/// should beat or match it on single-level problems).
+double young_optimal_interval(double delta, double mtbf) noexcept;
+
+/// Young's first-order expected-time model: overhead fraction
+/// h = delta/tau + lambda (tau/2 + R), T = T_B (1 + h). Accurate only when
+/// tau + delta << MTBF; degrades exactly where Daly's formula keeps
+/// working, which the tests demonstrate.
+double young_expected_time(double base_time, double tau, double delta,
+                           double restart, double mtbf) noexcept;
+
+/// ExecutionTimeModel adapter for single-level plans (see DalyModel).
+class YoungModel : public core::ExecutionTimeModel {
+ public:
+  double expected_time(const systems::SystemConfig& system,
+                       const core::CheckpointPlan& plan) const override;
+};
+
+/// Traditional C/R tuned with Young's interval; predictions from Young's
+/// first-order model.
+class YoungTechnique : public core::Technique {
+ public:
+  std::string name() const override { return "Young"; }
+
+ protected:
+  core::TechniqueResult do_select_plan(const systems::SystemConfig& system,
+                                       util::ThreadPool* pool)
+      const override;
+};
+
+}  // namespace mlck::models

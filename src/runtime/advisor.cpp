@@ -1,0 +1,96 @@
+#include "runtime/advisor.h"
+
+#include <cmath>
+
+#include "core/interval_schedule.h"
+
+namespace mlck::runtime {
+
+CheckpointAdvisor::CheckpointAdvisor(const systems::SystemConfig& system,
+                                     core::CheckpointPlan plan)
+    : system_(system), plan_(std::move(plan)) {
+  plan_.validate(system_);
+  levels_ = plan_.levels;
+  slots_.resize(levels_.size());
+}
+
+CheckpointAdvisor::CheckpointAdvisor(const systems::SystemConfig& system,
+                                     core::AdaptiveSchedule schedule)
+    : system_(system),
+      plan_(schedule.base),
+      adaptive_(std::move(schedule)) {
+  plan_.validate(system_);
+  levels_ = plan_.levels;
+  slots_.resize(levels_.size());
+}
+
+std::optional<CheckpointAdvisor::NextCheckpoint>
+CheckpointAdvisor::next_checkpoint(double current_work) const {
+  std::optional<core::CheckpointPoint> point;
+  if (adaptive_) {
+    point = adaptive_->next_checkpoint(current_work);
+  } else {
+    // Pattern grid: the same rule the simulator applies.
+    const double j =
+        std::floor((current_work + core::IntervalSchedule::kWorkEpsilon) /
+                   plan_.tau0) +
+        1.0;
+    const double work = j * plan_.tau0;
+    if (work < system_.base_time - core::IntervalSchedule::kWorkEpsilon) {
+      point = core::CheckpointPoint{
+          work, plan_.checkpoint_after_interval(static_cast<long long>(j))};
+    }
+  }
+  if (!point) return std::nullopt;
+  return NextCheckpoint{
+      point->work, levels_[static_cast<std::size_t>(point->used_index)]};
+}
+
+void CheckpointAdvisor::record_checkpoint(double work, int system_level) {
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    if (levels_[k] <= system_level) slots_[k] = Slot{work, true};
+  }
+}
+
+CheckpointAdvisor::Recovery CheckpointAdvisor::pick_recovery(int severity) {
+  // Storage below the severity is gone.
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    if (levels_[k] < severity) slots_[k].valid = false;
+  }
+  // Lowest surviving used level that covers the severity.
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    if (levels_[k] >= severity && slots_[k].valid) {
+      return Recovery{false, levels_[k], slots_[k].work};
+    }
+  }
+  // Nothing covers it: restart from scratch, all storage is void.
+  for (auto& slot : slots_) slot.valid = false;
+  return Recovery{true, -1, 0.0};
+}
+
+CheckpointAdvisor::Recovery CheckpointAdvisor::on_failure(int severity) {
+  return pick_recovery(severity);
+}
+
+CheckpointAdvisor::Recovery CheckpointAdvisor::on_restart_failure(
+    const Recovery& current, int severity) {
+  if (!current.from_scratch && severity <= current.system_level) {
+    // The checkpoint being loaded survives (its level >= severity):
+    // retry it. Lower-level storage is still wiped.
+    for (std::size_t k = 0; k < levels_.size(); ++k) {
+      if (levels_[k] < severity) slots_[k].valid = false;
+    }
+    return current;
+  }
+  return pick_recovery(severity);
+}
+
+std::vector<std::optional<double>> CheckpointAdvisor::protected_work() const {
+  std::vector<std::optional<double>> out(slots_.size());
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    if (slots_[k].valid) out[k] = slots_[k].work;
+  }
+  return out;
+}
+
+}  // namespace mlck::runtime

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/plan.h"
+#include "systems/system_config.h"
+
+namespace mlck::runtime {
+
+/// The embeddable decision engine of the protocol — what a checkpoint
+/// library (SCR, FTI) would consult at run time. The simulator exercises
+/// exactly this logic internally; the advisor packages it behind a public
+/// API for real applications, and a cross-validation test drives both
+/// with identical failure schedules and asserts identical behaviour.
+///
+/// The application owns time and I/O; the advisor owns decisions:
+///  * when the next checkpoint is due and at which level,
+///  * which checkpoint to restore after a failure (tracking which
+///    levels' storage that failure destroyed),
+///  * what to do when a restart attempt itself fails.
+///
+/// Work positions are minutes of useful progress since application
+/// start, exactly as everywhere else in the library.
+class CheckpointAdvisor {
+ public:
+  /// Plain pattern plan.
+  CheckpointAdvisor(const systems::SystemConfig& system,
+                    core::CheckpointPlan plan);
+
+  /// Horizon-aware plan (see core::AdaptiveSchedule): checkpoints of a
+  /// level stop once the remaining work no longer justifies them.
+  CheckpointAdvisor(const systems::SystemConfig& system,
+                    core::AdaptiveSchedule schedule);
+
+  /// The next scheduled checkpoint strictly after @p current_work:
+  /// its trigger work position and system level. nullopt when no further
+  /// checkpoint is due before the application completes.
+  struct NextCheckpoint {
+    double work = 0.0;
+    int system_level = 0;
+  };
+  std::optional<NextCheckpoint> next_checkpoint(double current_work) const;
+
+  /// The application finished writing a level-`system_level` checkpoint
+  /// at progress @p work. Refreshes that level and every lower used
+  /// level (SCR flushes downward).
+  void record_checkpoint(double work, int system_level);
+
+  /// A failure of the given severity struck (during computation or
+  /// checkpointing). Storage below the severity is wiped and a recovery
+  /// target chosen.
+  struct Recovery {
+    bool from_scratch = false;
+    int system_level = -1;    ///< level to load (when !from_scratch)
+    double restored_work = 0.0;
+  };
+  Recovery on_failure(int severity);
+
+  /// A further failure struck *while restarting* from the given recovery
+  /// target. Applies the retry-same-level semantics (paper Sec. IV-G):
+  /// severities at or below the loading level retry it; higher severities
+  /// re-target. Returns the (possibly new) recovery.
+  Recovery on_restart_failure(const Recovery& current, int severity);
+
+  /// Progress currently protected at each used level (for monitoring).
+  /// Entries are nullopt when a level holds no checkpoint.
+  std::vector<std::optional<double>> protected_work() const;
+
+ private:
+  Recovery pick_recovery(int severity);
+
+  struct Slot {
+    double work = 0.0;
+    bool valid = false;
+  };
+
+  const systems::SystemConfig& system_;
+  core::CheckpointPlan plan_;                       // pattern mode
+  std::optional<core::AdaptiveSchedule> adaptive_;  // adaptive mode
+  std::vector<int> levels_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace mlck::runtime

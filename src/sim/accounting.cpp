@@ -1,0 +1,17 @@
+#include "sim/accounting.h"
+
+namespace mlck::sim {
+
+SimBreakdown& SimBreakdown::operator+=(const SimBreakdown& other) noexcept {
+  useful += other.useful;
+  checkpoint_ok += other.checkpoint_ok;
+  checkpoint_failed += other.checkpoint_failed;
+  restart_ok += other.restart_ok;
+  restart_failed += other.restart_failed;
+  rework_compute += other.rework_compute;
+  rework_checkpoint += other.rework_checkpoint;
+  rework_restart += other.rework_restart;
+  return *this;
+}
+
+}  // namespace mlck::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+namespace mlck::sim {
+
+/// Where a simulated trial's wall-clock time went, in minutes. The
+/// categories mirror the event classes of paper Sec. III-B / Figure 3.
+///
+/// Invariant (asserted by tests): total() equals the trial's elapsed time,
+/// and useful + the three rework buckets equal all time spent computing.
+struct SimBreakdown {
+  double useful = 0.0;            ///< computation that survived to the end
+  double checkpoint_ok = 0.0;     ///< completed checkpoints
+  double checkpoint_failed = 0.0; ///< checkpoint attempts cut short by a failure
+  double restart_ok = 0.0;        ///< completed restarts
+  double restart_failed = 0.0;    ///< restart attempts cut short by a failure
+  double rework_compute = 0.0;    ///< work discarded by failures during computation
+  double rework_checkpoint = 0.0; ///< work discarded by failures during checkpoints
+  double rework_restart = 0.0;    ///< extra work discarded when a failure during a
+                                  ///< restart forces recovery from an older level
+
+  double total() const noexcept {
+    return useful + checkpoint_ok + checkpoint_failed + restart_ok +
+           restart_failed + rework_compute + rework_checkpoint +
+           rework_restart;
+  }
+
+  /// All discarded computation.
+  double rework_total() const noexcept {
+    return rework_compute + rework_checkpoint + rework_restart;
+  }
+
+  /// Element-wise accumulation (used when aggregating trials).
+  SimBreakdown& operator+=(const SimBreakdown& other) noexcept;
+};
+
+/// Result of simulating a single application run.
+struct TrialResult {
+  double total_time = 0.0;    ///< wall-clock minutes until completion (or cap)
+  SimBreakdown breakdown;
+  bool capped = false;        ///< hit SimOptions::max_time before completing
+  long long failures = 0;     ///< failures of any severity, any phase
+  long long checkpoints_completed = 0;
+  long long restarts_completed = 0;
+  long long restarts_failed = 0;
+  long long scratch_restarts = 0;
+
+  /// Useful work per unit wall-clock time: the paper's efficiency metric
+  /// (equals T_B / total_time for completed runs).
+  double efficiency() const noexcept {
+    return total_time > 0.0 ? breakdown.useful / total_time : 1.0;
+  }
+};
+
+}  // namespace mlck::sim

@@ -1,0 +1,67 @@
+#include "sim/failure_source.h"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace mlck::sim {
+
+RandomFailureSource::RandomFailureSource(const systems::SystemConfig& system,
+                                         util::Rng rng)
+    : lambda_total_(system.lambda_total()), rng_(rng) {
+  severity_cdf_.reserve(system.severity_probability.size());
+  double acc = 0.0;
+  for (const double s : system.severity_probability) {
+    acc += s;
+    severity_cdf_.push_back(acc);
+  }
+}
+
+FailureEvent RandomFailureSource::next() {
+  FailureEvent ev;
+  ev.interarrival = rng_.exponential(lambda_total_);
+  ev.severity = static_cast<int>(rng_.discrete_from_cdf(severity_cdf_));
+  return ev;
+}
+
+RenewalFailureSource::RenewalFailureSource(
+    const systems::SystemConfig& system,
+    const math::FailureDistribution& interarrival, util::Rng rng)
+    : interarrival_(interarrival), rng_(rng) {
+  severity_cdf_.reserve(system.severity_probability.size());
+  double acc = 0.0;
+  for (const double s : system.severity_probability) {
+    acc += s;
+    severity_cdf_.push_back(acc);
+  }
+}
+
+FailureEvent RenewalFailureSource::next() {
+  FailureEvent ev;
+  ev.interarrival = interarrival_.sample(rng_);
+  ev.severity = static_cast<int>(rng_.discrete_from_cdf(severity_cdf_));
+  return ev;
+}
+
+ScriptedFailureSource::ScriptedFailureSource(
+    std::vector<AbsoluteFailure> script)
+    : script_(std::move(script)) {
+  for (std::size_t i = 1; i < script_.size(); ++i) {
+    assert(script_[i].time > script_[i - 1].time);
+  }
+}
+
+FailureEvent ScriptedFailureSource::next() {
+  FailureEvent ev;
+  if (index_ >= script_.size()) {
+    ev.interarrival = std::numeric_limits<double>::infinity();
+    return ev;
+  }
+  ev.interarrival = script_[index_].time - previous_time_;
+  ev.severity = script_[index_].severity;
+  previous_time_ = script_[index_].time;
+  ++index_;
+  return ev;
+}
+
+}  // namespace mlck::sim

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/interval_schedule.h"
+#include "core/plan.h"
+#include "sim/accounting.h"
+#include "sim/failure_source.h"
+#include "systems/system_config.h"
+
+namespace mlck::sim {
+
+/// How the simulated system reacts to a failure that strikes *during a
+/// restart* (the semantics the paper identifies as the key modeling
+/// difference between techniques, Sec. IV-G).
+enum class RestartPolicy {
+  /// A second failure of severity <= the restarting level retries the same
+  /// checkpoint (its storage survives). This is the behaviour the paper
+  /// argues is realistic, and is what its simulator assumes "for all
+  /// techniques". Default.
+  kRetrySameLevel,
+
+  /// Moody et al.'s pessimistic assumption: a second failure of the *same*
+  /// severity escalates recovery to the next higher checkpoint level.
+  /// Provided for the ablation study of that assumption's impact.
+  kMoodyEscalate,
+};
+
+/// One recorded simulator event, in wall-clock order. Tracing is opt-in
+/// (SimOptions::trace) and intended for debugging, tests, and the
+/// trace_viewer example; it does not affect simulation results.
+struct TraceEvent {
+  enum class Kind {
+    kCompute,         ///< a computation segment (possibly interrupted)
+    kCheckpoint,      ///< a checkpoint attempt
+    kRestart,         ///< a restart attempt
+    kScratchRestart,  ///< instantaneous restart-from-scratch
+  };
+  Kind kind = Kind::kCompute;
+  double start = 0.0;  ///< wall-clock minutes
+  double end = 0.0;
+  int system_level = -1;  ///< checkpoint/restart level; -1 for compute
+  bool completed = true;  ///< false when a failure cut the phase short
+  int failure_severity = -1;  ///< severity of the interrupting failure
+};
+
+/// Simulation controls.
+struct SimOptions {
+  RestartPolicy restart_policy = RestartPolicy::kRetrySameLevel;
+
+  /// Take a checkpoint after the final interval. Off by default (a real
+  /// run has nothing left to protect); the analytic models' top-level
+  /// count convention matches this (see DESIGN.md).
+  bool take_final_checkpoint = false;
+
+  /// Wall-clock cap as a multiple of the application base time; a trial
+  /// that has not completed by then is reported with capped = true (its
+  /// efficiency metric remains meaningful: useful work over elapsed time).
+  double max_time_factor = 2000.0;
+
+  /// When non-null, every phase is appended here as a TraceEvent.
+  /// Non-owning; must outlive the simulate() call.
+  std::vector<TraceEvent>* trace = nullptr;
+};
+
+/// Event-driven simulation of one application run under multilevel
+/// checkpointing with randomly (or scripted-ly) occurring failures — the
+/// substrate the paper validates every model against (Sec. IV-B).
+///
+/// Protocol semantics (paper Secs. II-B, III-B, IV-G):
+///  * computation proceeds between work points at which the schedule
+///    triggers checkpoints; a level-h checkpoint refreshes every used
+///    level <= h (SCR flushes downward);
+///  * a severity-s failure destroys checkpoint data below level s and is
+///    recovered from the lowest used level >= s holding a checkpoint; if
+///    none exists the application restarts from scratch (all progress
+///    lost, no restart cost);
+///  * failures interrupt computation, checkpoints, and restarts alike;
+///    interrupted checkpoints leave the previous checkpoint of that level
+///    intact (double buffering);
+///  * work rolled back is re-executed, and every second of wall-clock time
+///    is attributed to exactly one SimBreakdown bucket.
+///
+/// This overload runs an SCR-style pattern plan (checkpoints after every
+/// tau0 of work, levels following the pattern counts).
+TrialResult simulate(const systems::SystemConfig& system,
+                     const core::CheckpointPlan& plan, FailureSource& failures,
+                     const SimOptions& options = {});
+
+/// Same engine driven by an interval-based schedule (independent per-level
+/// checkpoint periods; see core::IntervalSchedule for the collision rule).
+TrialResult simulate(const systems::SystemConfig& system,
+                     const core::IntervalSchedule& schedule,
+                     FailureSource& failures, const SimOptions& options = {});
+
+/// Same engine driven by a horizon-aware adaptive schedule (Sec. IV-F
+/// generalized; see core::AdaptiveSchedule).
+TrialResult simulate(const systems::SystemConfig& system,
+                     const core::AdaptiveSchedule& schedule,
+                     FailureSource& failures, const SimOptions& options = {});
+
+}  // namespace mlck::sim

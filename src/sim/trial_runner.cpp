@@ -1,0 +1,105 @@
+#include "sim/trial_runner.h"
+
+#include <functional>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace mlck::sim {
+
+namespace {
+
+/// Shared Monte-Carlo skeleton: @p run_one executes trial k with its own
+/// derived RNG stream; aggregation is serial and deterministic.
+TrialStats aggregate_trials(
+    std::size_t trials, util::ThreadPool* pool,
+    const std::function<TrialResult(std::size_t)>& run_one) {
+  std::vector<TrialResult> results(trials);
+  util::parallel_for(pool, trials,
+                     [&](std::size_t k) { results[k] = run_one(k); });
+
+  TrialStats stats;
+  stats.trials = trials;
+  stats::Welford eff;
+  stats::Welford time;
+  SimBreakdown sum;
+  std::vector<double> efficiencies;
+  efficiencies.reserve(trials);
+  double failures_total = 0.0;
+  for (const TrialResult& r : results) {
+    eff.add(r.efficiency());
+    efficiencies.push_back(r.efficiency());
+    time.add(r.total_time);
+    sum += r.breakdown;
+    failures_total += static_cast<double>(r.failures);
+    if (r.capped) ++stats.capped_trials;
+  }
+  stats.efficiency = stats::summarize(eff);
+  stats.efficiency_quantiles = stats::summary_quantiles(efficiencies);
+  stats.total_time = stats::summarize(time);
+  if (trials > 0) {
+    stats.mean_failures = failures_total / static_cast<double>(trials);
+    const double total = sum.total();
+    if (total > 0.0) {
+      stats.time_shares = sum;
+      stats.time_shares.useful /= total;
+      stats.time_shares.checkpoint_ok /= total;
+      stats.time_shares.checkpoint_failed /= total;
+      stats.time_shares.restart_ok /= total;
+      stats.time_shares.restart_failed /= total;
+      stats.time_shares.rework_compute /= total;
+      stats.time_shares.rework_checkpoint /= total;
+      stats.time_shares.rework_restart /= total;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+TrialStats run_trials(const systems::SystemConfig& system,
+                      const core::CheckpointPlan& plan, std::size_t trials,
+                      std::uint64_t seed, const SimOptions& options,
+                      util::ThreadPool* pool) {
+  return aggregate_trials(trials, pool, [&](std::size_t k) {
+    RandomFailureSource failures(
+        system, util::Rng(util::derive_stream_seed(seed, k)));
+    return simulate(system, plan, failures, options);
+  });
+}
+
+TrialStats run_trials(const systems::SystemConfig& system,
+                      const core::IntervalSchedule& schedule,
+                      std::size_t trials, std::uint64_t seed,
+                      const SimOptions& options, util::ThreadPool* pool) {
+  return aggregate_trials(trials, pool, [&](std::size_t k) {
+    RandomFailureSource failures(
+        system, util::Rng(util::derive_stream_seed(seed, k)));
+    return simulate(system, schedule, failures, options);
+  });
+}
+
+TrialStats run_trials(const systems::SystemConfig& system,
+                      const core::AdaptiveSchedule& schedule,
+                      std::size_t trials, std::uint64_t seed,
+                      const SimOptions& options, util::ThreadPool* pool) {
+  return aggregate_trials(trials, pool, [&](std::size_t k) {
+    RandomFailureSource failures(
+        system, util::Rng(util::derive_stream_seed(seed, k)));
+    return simulate(system, schedule, failures, options);
+  });
+}
+
+TrialStats run_trials_with_distribution(
+    const systems::SystemConfig& system, const core::CheckpointPlan& plan,
+    const math::FailureDistribution& interarrival, std::size_t trials,
+    std::uint64_t seed, const SimOptions& options, util::ThreadPool* pool) {
+  return aggregate_trials(trials, pool, [&](std::size_t k) {
+    RenewalFailureSource failures(
+        system, interarrival, util::Rng(util::derive_stream_seed(seed, k)));
+    return simulate(system, plan, failures, options);
+  });
+}
+
+}  // namespace mlck::sim

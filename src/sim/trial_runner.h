@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "stats/quantiles.h"
+#include "stats/summary.h"
+#include "util/thread_pool.h"
+
+namespace mlck::sim {
+
+/// Aggregate of a Monte-Carlo batch of simulated trials for one
+/// (system, plan) pair — the quantity behind every bar of the paper's
+/// figures.
+struct TrialStats {
+  stats::Summary efficiency;      ///< per-trial efficiency distribution
+  stats::Quantiles efficiency_quantiles;  ///< tails of that distribution
+  stats::Summary total_time;      ///< per-trial wall-clock minutes
+  SimBreakdown time_shares;       ///< aggregate breakdown normalized so
+                                  ///< total() == 1 (time-weighted across
+                                  ///< trials; Figure 3's percentages)
+  double mean_failures = 0.0;
+  std::size_t trials = 0;
+  std::size_t capped_trials = 0;
+};
+
+/// Runs @p trials independent simulations. Trial k draws its failures
+/// from a RandomFailureSource seeded with derive_stream_seed(seed, k), so
+/// results are reproducible and independent of both thread count and
+/// execution order. @p pool, when provided, runs trials concurrently.
+TrialStats run_trials(const systems::SystemConfig& system,
+                      const core::CheckpointPlan& plan, std::size_t trials,
+                      std::uint64_t seed, const SimOptions& options = {},
+                      util::ThreadPool* pool = nullptr);
+
+/// Interval-based schedules through the same Monte-Carlo machinery.
+TrialStats run_trials(const systems::SystemConfig& system,
+                      const core::IntervalSchedule& schedule,
+                      std::size_t trials, std::uint64_t seed,
+                      const SimOptions& options = {},
+                      util::ThreadPool* pool = nullptr);
+
+/// Adaptive horizon-aware schedules through the same machinery.
+TrialStats run_trials(const systems::SystemConfig& system,
+                      const core::AdaptiveSchedule& schedule,
+                      std::size_t trials, std::uint64_t seed,
+                      const SimOptions& options = {},
+                      util::ThreadPool* pool = nullptr);
+
+/// Monte-Carlo batch with failures drawn from an arbitrary inter-arrival
+/// law (renewal process) instead of the exponential default; used by the
+/// failure-distribution ablation.
+TrialStats run_trials_with_distribution(
+    const systems::SystemConfig& system, const core::CheckpointPlan& plan,
+    const math::FailureDistribution& interarrival, std::size_t trials,
+    std::uint64_t seed, const SimOptions& options = {},
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace mlck::sim

@@ -1,0 +1,30 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mlck::stats {
+
+double normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+WelchResult welch_test(const Summary& a, const Summary& b) noexcept {
+  WelchResult r;
+  if (a.count < 2 || b.count < 2) return r;
+  const double va = a.stddev * a.stddev / static_cast<double>(a.count);
+  const double vb = b.stddev * b.stddev / static_cast<double>(b.count);
+  const double se = std::sqrt(va + vb);
+  if (se == 0.0) {
+    r.statistic = (a.mean == b.mean) ? 0.0 : std::copysign(
+        std::numeric_limits<double>::infinity(), a.mean - b.mean);
+    r.p_two_sided = (a.mean == b.mean) ? 1.0 : 0.0;
+    return r;
+  }
+  r.statistic = (a.mean - b.mean) / se;
+  r.p_two_sided = 2.0 * normal_cdf(-std::abs(r.statistic));
+  return r;
+}
+
+}  // namespace mlck::stats

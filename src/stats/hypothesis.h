@@ -1,0 +1,30 @@
+#pragma once
+
+#include "stats/summary.h"
+
+namespace mlck::stats {
+
+/// Result of a two-sample Welch test for a difference in means.
+struct WelchResult {
+  double statistic = 0.0;   ///< Welch z/t statistic (a - b).
+  double p_two_sided = 1.0; ///< normal-approximation two-sided p-value.
+
+  /// True when the two-sided p-value clears the given significance level
+  /// (default 5%, matching the paper's "95% confidence" claim in Sec. IV-F).
+  bool significant(double alpha = 0.05) const noexcept {
+    return p_two_sided < alpha;
+  }
+};
+
+/// Welch's unequal-variance test comparing the means of two summaries.
+///
+/// The p-value uses the standard normal tail rather than Student-t: every
+/// comparison in the reproduction has n >= 200 per arm, where the
+/// difference is below 1e-3 and an incomplete-beta implementation would be
+/// dead weight.
+WelchResult welch_test(const Summary& a, const Summary& b) noexcept;
+
+/// Standard normal CDF via std::erfc.
+double normal_cdf(double z) noexcept;
+
+}  // namespace mlck::stats

@@ -1,0 +1,41 @@
+#include "stats/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlck::stats {
+
+namespace {
+
+double quantile_of_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(position));
+  const double fraction = position - std::floor(position);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+}  // namespace
+
+double quantile(std::span<const double> sample, double q) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_of_sorted(sorted, q);
+}
+
+Quantiles summary_quantiles(std::span<const double> sample) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  Quantiles out;
+  out.p05 = quantile_of_sorted(sorted, 0.05);
+  out.p25 = quantile_of_sorted(sorted, 0.25);
+  out.median = quantile_of_sorted(sorted, 0.50);
+  out.p75 = quantile_of_sorted(sorted, 0.75);
+  out.p95 = quantile_of_sorted(sorted, 0.95);
+  return out;
+}
+
+}  // namespace mlck::stats

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mlck::stats {
+
+/// Distribution quantiles of a sample (used to characterize the heavier
+/// tails that level-skipping plans show in Figure 5's variance
+/// discussion: the mean improves while the low quantiles stretch).
+struct Quantiles {
+  double p05 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Linear-interpolation quantile (type-7, the R/NumPy default) of an
+/// unsorted sample. @p q in [0, 1]. Returns 0 for an empty sample.
+double quantile(std::span<const double> sample, double q);
+
+/// The five standard summary quantiles in one pass (sorts a copy once).
+Quantiles summary_quantiles(std::span<const double> sample);
+
+}  // namespace mlck::stats

@@ -1,0 +1,22 @@
+#include "stats/summary.h"
+
+#include <cmath>
+
+namespace mlck::stats {
+
+double Summary::ci95_halfwidth() const noexcept {
+  if (count < 2) return 0.0;
+  return 1.96 * stddev / std::sqrt(static_cast<double>(count));
+}
+
+Summary summarize(const Welford& w) noexcept {
+  Summary s;
+  s.count = w.count();
+  s.mean = w.mean();
+  s.stddev = w.stddev();
+  s.min = w.min();
+  s.max = w.max();
+  return s;
+}
+
+}  // namespace mlck::stats

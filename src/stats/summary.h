@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+
+#include "stats/welford.h"
+
+namespace mlck::stats {
+
+/// Point estimate with dispersion for one measured quantity (e.g. the
+/// simulated efficiency of a technique on one test system).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Half-width of the normal-approximation 95% confidence interval for
+  /// the mean (z = 1.96; the experiments use n >= 200, where Student-t and
+  /// normal quantiles agree to three digits).
+  double ci95_halfwidth() const noexcept;
+};
+
+/// Snapshot of a Welford accumulator.
+Summary summarize(const Welford& w) noexcept;
+
+}  // namespace mlck::stats

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+namespace mlck::stats {
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Numerically stable for long streams (no catastrophic cancellation of
+/// sum-of-squares), and mergeable so per-thread accumulators can be
+/// combined after a parallel Monte-Carlo run.
+class Welford {
+ public:
+  /// Accumulates one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (Chan et al. parallel update).
+  void merge(const Welford& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance (0 for fewer than two observations).
+  double variance() const noexcept;
+
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mlck::stats

@@ -1,0 +1,31 @@
+#include "systems/scaling.h"
+
+#include "systems/test_systems.h"
+
+#include <string>
+
+namespace mlck::systems {
+
+SystemConfig scaled_system_b(double mtbf_minutes, double pfs_cost_minutes,
+                             double base_time) {
+  SystemConfig cfg = table1_system("B");
+  cfg.name = "B(mtbf=" + std::to_string(static_cast<int>(mtbf_minutes)) +
+             ",pfs=" + std::to_string(static_cast<int>(pfs_cost_minutes)) +
+             ")";
+  cfg.mtbf = mtbf_minutes;
+  cfg.checkpoint_cost.back() = pfs_cost_minutes;
+  cfg.restart_cost.back() = pfs_cost_minutes;
+  cfg.base_time = base_time;
+  cfg.validate();
+  return cfg;
+}
+
+std::vector<double> figure4_mtbf_grid() { return {26.0, 20.0, 15.0, 9.0, 3.0}; }
+
+std::vector<double> figure4_pfs_cost_grid() {
+  return {10.0, 20.0, 30.0, 40.0};
+}
+
+std::vector<double> figure5_pfs_cost_grid() { return {10.0, 20.0}; }
+
+}  // namespace mlck::systems

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "systems/system_config.h"
+
+namespace mlck::systems {
+
+/// Derives the exascale-like scenarios of paper Figures 4 and 5 from
+/// Table I system B: overrides the system MTBF and the level-L (PFS)
+/// checkpoint/restart cost, keeping lower-level costs and the severity
+/// distribution fixed. @p base_time sets T_B (1440 min for Fig. 4,
+/// 30 min for Fig. 5).
+SystemConfig scaled_system_b(double mtbf_minutes, double pfs_cost_minutes,
+                             double base_time);
+
+/// The paper's Fig. 4/5 MTBF grid: five values spanning the predicted
+/// exascale range of 3-26 minutes, hardest last.
+std::vector<double> figure4_mtbf_grid();
+
+/// The paper's Fig. 4 PFS checkpoint/restart cost grid (sections a-d).
+std::vector<double> figure4_pfs_cost_grid();
+
+/// The Fig. 5 subset of PFS costs (sections a-b).
+std::vector<double> figure5_pfs_cost_grid();
+
+}  // namespace mlck::systems

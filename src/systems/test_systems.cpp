@@ -1,0 +1,42 @@
+#include "systems/test_systems.h"
+
+#include <stdexcept>
+
+namespace mlck::systems {
+
+std::vector<SystemConfig> table1_systems() {
+  std::vector<SystemConfig> out;
+  out.push_back(SystemConfig::from_table_row(
+      "M", 3, 6944.45, {0.083, 0.75, 0.167}, {0.008, 0.075, 17.53}, 1440.0));
+  out.push_back(SystemConfig::from_table_row(
+      "B", 4, 333.33, {0.556, 0.278, 0.139, 0.027}, {0.167, 0.5, 0.833, 2.5},
+      1440.0));
+  out.push_back(SystemConfig::from_table_row(
+      "D1", 2, 51.42, {0.857, 0.143}, {0.333, 0.833}, 1440.0));
+  out.push_back(SystemConfig::from_table_row(
+      "D2", 2, 24.0, {0.833, 0.167}, {0.333, 0.833}, 1440.0));
+  out.push_back(SystemConfig::from_table_row(
+      "D3", 2, 12.0, {0.833, 0.167}, {0.167, 0.667}, 1440.0));
+  out.push_back(SystemConfig::from_table_row(
+      "D4", 2, 6.0, {0.833, 0.167}, {0.167, 0.667}, 1440.0));
+  out.push_back(SystemConfig::from_table_row(
+      "D5", 2, 12.0, {0.833, 0.167}, {0.333, 1.67}, 1440.0));
+  out.push_back(SystemConfig::from_table_row(
+      "D6", 2, 6.0, {0.833, 0.167}, {0.167, 1.67}, 720.0));
+  out.push_back(SystemConfig::from_table_row(
+      "D7", 2, 4.0, {0.833, 0.167}, {0.667, 3.33}, 360.0));
+  out.push_back(SystemConfig::from_table_row(
+      "D8", 2, 3.13, {0.870, 0.130}, {0.833, 5.0}, 360.0));
+  out.push_back(SystemConfig::from_table_row(
+      "D9", 2, 3.13, {0.870, 0.130}, {0.833, 5.0}, 180.0));
+  return out;
+}
+
+SystemConfig table1_system(const std::string& name) {
+  for (auto& cfg : table1_systems()) {
+    if (cfg.name == name) return cfg;
+  }
+  throw std::out_of_range("unknown Table I system: " + name);
+}
+
+}  // namespace mlck::systems

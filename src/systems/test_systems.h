@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "systems/system_config.h"
+
+namespace mlck::systems {
+
+/// The eleven test systems of paper Table I, in the paper's order of
+/// monotonically increasing resilience difficulty:
+///
+///   M        [5]  BlueGene/L Coastal, 3 levels, MTBF 6944.45 min
+///   B        [19] BlueGene/Q Mira,    4 levels, MTBF  333.33 min
+///   D1..D9   [17] ANL Fusion cases,   2 levels, MTBF 51.42 .. 3.13 min
+///
+/// Values are transcribed verbatim (all times in minutes, severities as
+/// probability distributions, checkpoint cost == restart cost).
+std::vector<SystemConfig> table1_systems();
+
+/// Looks up a Table I system by name ("M", "B", "D1".."D9").
+/// Throws std::out_of_range for unknown names.
+SystemConfig table1_system(const std::string& name);
+
+}  // namespace mlck::systems

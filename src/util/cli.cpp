@@ -1,0 +1,68 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace mlck::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        options_.emplace(std::string(arg.substr(2)), "");
+      } else {
+        options_.emplace(std::string(arg.substr(2, eq - 2)),
+                         std::string(arg.substr(eq + 1)));
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  seen_[name] = true;
+  return options_.count(name) != 0;
+}
+
+std::optional<std::string> Cli::value(const std::string& name) const {
+  seen_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Cli::get_int(const std::string& name, int fallback) const {
+  const auto v = value(name);
+  return v && !v->empty() ? std::atoi(v->c_str()) : fallback;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto v = value(name);
+  return v && !v->empty() ? std::atof(v->c_str()) : fallback;
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  const auto v = value(name);
+  return v ? *v : fallback;
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto v = value(name);
+  if (!v) return fallback;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes") return true;
+  return false;
+}
+
+std::vector<std::string> Cli::unrecognized() const {
+  std::vector<std::string> out;
+  for (const auto& [key, _] : options_) {
+    if (!seen_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace mlck::util

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mlck::util {
+
+/// Minimal CSV writer (RFC-4180 quoting) used to export experiment series
+/// alongside the human-readable tables.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row; cells containing commas, quotes, or newlines are
+  /// quoted and embedded quotes doubled.
+  void row(const std::vector<std::string>& cells);
+
+  /// Escapes a single cell per RFC 4180.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace mlck::util

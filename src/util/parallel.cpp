@@ -1,0 +1,26 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+
+namespace mlck::util {
+
+void parallel_for(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->size() <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Four chunks per worker balances load without per-index queue traffic.
+  const std::size_t target_chunks = pool->size() * 4;
+  const std::size_t chunk = std::max<std::size_t>(1, count / target_chunks);
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(count, begin + chunk);
+    pool->submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  pool->wait_idle();
+}
+
+}  // namespace mlck::util

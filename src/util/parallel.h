@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "util/thread_pool.h"
+
+namespace mlck::util {
+
+/// Executes body(i) for every i in [0, count), distributing contiguous
+/// chunks over the pool's workers and blocking until all complete.
+///
+/// With pool == nullptr, or a pool of one worker, execution is sequential
+/// in index order; results must therefore not depend on execution order
+/// (each index writes only its own slot of any shared output). The chunked
+/// schedule is deterministic for a fixed pool size.
+void parallel_for(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace mlck::util

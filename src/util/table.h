@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mlck::util {
+
+/// Column-aligned ASCII table used by the experiment drivers to print the
+/// rows/series of each paper table and figure.
+///
+/// Cells are strings; numeric helpers format with a fixed precision so
+/// columns line up. Alignment is right for cells that parse as numbers and
+/// left otherwise.
+class Table {
+ public:
+  /// Sets the header row. Column count is fixed by this call.
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row. @pre cells.size() == column count
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats @p value with @p precision fraction digits.
+  static std::string num(double value, int precision = 3);
+
+  /// Formats a percentage ("12.3%") from a fraction in [0, 1].
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders the table with a separator line under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mlck::util

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlck::util {
+
+/// Fixed-size worker pool executing void() tasks.
+///
+/// The pool is deliberately minimal: tasks may not throw (exceptions
+/// escaping a task terminate, per CP rules on unhandled thread exceptions),
+/// and completion is observed either through wait_idle() or through state
+/// the task itself publishes. Higher-level helpers (parallel_for) build
+/// deterministic, data-race-free patterns on top.
+class ThreadPool {
+ public:
+  /// Creates @p num_threads workers. Zero selects the hardware concurrency
+  /// (at least one).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task for execution. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait_idle();
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mlck::util

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/advisor.h"
+#include "sim/simulator.h"
+#include "systems/test_systems.h"
+#include "util/rng.h"
+
+namespace mlck::runtime {
+namespace {
+
+using core::CheckpointPlan;
+
+systems::SystemConfig toy_system() {
+  return systems::SystemConfig::from_table_row("toy", 2, 100.0, {0.8, 0.2},
+                                               {1.0, 4.0}, 30.0);
+}
+
+TEST(Advisor, FollowsThePatternGrid) {
+  const auto sys = toy_system();
+  CheckpointAdvisor advisor(sys, CheckpointPlan::full_hierarchy(5.0, {2}));
+  // Pattern: j=1,2 -> level 0; j=3 -> level 1; ...; nothing at j=6=T_B.
+  const auto first = advisor.next_checkpoint(0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(first->work, 5.0);
+  EXPECT_EQ(first->system_level, 0);
+  const auto third = advisor.next_checkpoint(11.0);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_DOUBLE_EQ(third->work, 15.0);
+  EXPECT_EQ(third->system_level, 1);
+  EXPECT_FALSE(advisor.next_checkpoint(25.0).has_value());
+}
+
+TEST(Advisor, RecordCheckpointRefreshesLowerLevels) {
+  const auto sys = toy_system();
+  CheckpointAdvisor advisor(sys, CheckpointPlan::full_hierarchy(5.0, {2}));
+  advisor.record_checkpoint(15.0, /*system_level=*/1);
+  const auto prot = advisor.protected_work();
+  ASSERT_EQ(prot.size(), 2u);
+  EXPECT_DOUBLE_EQ(prot[0].value(), 15.0);
+  EXPECT_DOUBLE_EQ(prot[1].value(), 15.0);
+}
+
+TEST(Advisor, FailureDestroysLowerStorageAndPicksCoveringLevel) {
+  const auto sys = toy_system();
+  CheckpointAdvisor advisor(sys, CheckpointPlan::full_hierarchy(5.0, {2}));
+  advisor.record_checkpoint(15.0, 1);
+  advisor.record_checkpoint(20.0, 0);  // level 0 now newer than level 1
+  const auto rec0 = advisor.on_failure(0);
+  EXPECT_FALSE(rec0.from_scratch);
+  EXPECT_EQ(rec0.system_level, 0);
+  EXPECT_DOUBLE_EQ(rec0.restored_work, 20.0);
+
+  // A severity-1 failure wipes level-0 storage; level 1 still holds 15.
+  const auto rec1 = advisor.on_failure(1);
+  EXPECT_FALSE(rec1.from_scratch);
+  EXPECT_EQ(rec1.system_level, 1);
+  EXPECT_DOUBLE_EQ(rec1.restored_work, 15.0);
+  EXPECT_FALSE(advisor.protected_work()[0].has_value());
+}
+
+TEST(Advisor, ScratchWhenNothingCovers) {
+  const auto sys = toy_system();
+  CheckpointAdvisor advisor(sys, CheckpointPlan::full_hierarchy(5.0, {2}));
+  advisor.record_checkpoint(5.0, 0);
+  const auto rec = advisor.on_failure(1);  // destroys the level-0 copy
+  EXPECT_TRUE(rec.from_scratch);
+  EXPECT_DOUBLE_EQ(rec.restored_work, 0.0);
+  for (const auto& p : advisor.protected_work()) {
+    EXPECT_FALSE(p.has_value());
+  }
+}
+
+TEST(Advisor, RestartFailureRetriesOrRetargets) {
+  const auto sys = toy_system();
+  CheckpointAdvisor advisor(sys, CheckpointPlan::full_hierarchy(5.0, {2}));
+  advisor.record_checkpoint(15.0, 1);
+  const auto rec = advisor.on_failure(1);
+  ASSERT_EQ(rec.system_level, 1);
+  // Lower or equal severity during the restart: same target.
+  const auto retry = advisor.on_restart_failure(rec, 0);
+  EXPECT_EQ(retry.system_level, 1);
+  EXPECT_DOUBLE_EQ(retry.restored_work, 15.0);
+  const auto retry_same = advisor.on_restart_failure(rec, 1);
+  EXPECT_EQ(retry_same.system_level, 1);
+}
+
+TEST(Advisor, AdaptiveModeTrimsTheTail) {
+  const auto sys = systems::SystemConfig::from_table_row(
+      "tail", 2, 50.0, {0.5, 0.5}, {1.0, 8.0}, 100.0);
+  const auto plan = CheckpointPlan::full_hierarchy(10.0, {1});
+  CheckpointAdvisor advisor(sys, core::make_adaptive(sys, plan));
+  // Early: the pattern's level-1 point at 20 keeps its level.
+  EXPECT_EQ(advisor.next_checkpoint(15.0)->system_level, 1);
+  // Near the end the level-1 point at 80 downgrades to level 0
+  // (cutoff_1 = 40 > remaining 20), and 90 is skipped entirely.
+  EXPECT_EQ(advisor.next_checkpoint(75.0)->system_level, 0);
+  EXPECT_FALSE(advisor.next_checkpoint(80.0).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Cross-validation: an application driver that owns its own clock but
+// delegates every decision to the advisor must reproduce the simulator's
+// trajectory event-for-event on the same failure stream.
+// ---------------------------------------------------------------------
+
+double drive_with_advisor(const systems::SystemConfig& sys,
+                          const CheckpointPlan& plan,
+                          sim::FailureSource& failures) {
+  CheckpointAdvisor advisor(sys, plan);
+  double now = 0.0;
+  double work = 0.0;
+  double next_failure = 0.0;
+  int severity = -1;
+  const auto advance = [&] {
+    const auto ev = failures.next();
+    next_failure += ev.interarrival;
+    severity = ev.severity;
+  };
+  advance();
+  // Runs a phase of the given duration; returns the interrupting
+  // severity or -1 on completion.
+  const auto run_phase = [&](double duration) {
+    if (now + duration <= next_failure) {
+      now += duration;
+      return -1;
+    }
+    now = next_failure;
+    const int s = severity;
+    advance();
+    return s;
+  };
+  const auto recover = [&](CheckpointAdvisor::Recovery rec) {
+    for (;;) {
+      if (rec.from_scratch) {
+        work = 0.0;
+        return;
+      }
+      const int s = run_phase(
+          sys.restart_cost[static_cast<std::size_t>(rec.system_level)]);
+      if (s < 0) {
+        work = rec.restored_work;
+        return;
+      }
+      rec = advisor.on_restart_failure(rec, s);
+    }
+  };
+
+  while (work < sys.base_time) {
+    const auto next = advisor.next_checkpoint(work);
+    const double target =
+        next ? std::min(next->work, sys.base_time) : sys.base_time;
+    int s = run_phase(target - work);
+    if (s >= 0) {
+      recover(advisor.on_failure(s));
+      continue;
+    }
+    work = target;
+    if (work >= sys.base_time - 1e-9) break;
+    s = run_phase(
+        sys.checkpoint_cost[static_cast<std::size_t>(next->system_level)]);
+    if (s >= 0) {
+      recover(advisor.on_failure(s));
+      continue;
+    }
+    advisor.record_checkpoint(work, next->system_level);
+  }
+  return now;
+}
+
+TEST(Advisor, DriverReproducesSimulatorTrajectories) {
+  for (const char* name : {"D2", "D5", "B"}) {
+    const auto sys = systems::table1_system(name);
+    const auto plan =
+        sys.levels() == 2
+            ? CheckpointPlan::full_hierarchy(3.0, {3})
+            : CheckpointPlan::full_hierarchy(6.0, {1, 1, 2});
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+      sim::RandomFailureSource a(
+          sys, util::Rng(util::derive_stream_seed(123, seed)));
+      sim::RandomFailureSource b(
+          sys, util::Rng(util::derive_stream_seed(123, seed)));
+      const auto simulated = sim::simulate(sys, plan, a);
+      const double driven = drive_with_advisor(sys, plan, b);
+      ASSERT_NEAR(driven, simulated.total_time,
+                  1e-9 * (1.0 + simulated.total_time))
+          << name << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlck::runtime

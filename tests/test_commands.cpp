@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "app/commands.h"
+#include "core/serialize.h"
+
+namespace mlck::app {
+namespace {
+
+struct CommandResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CommandResult run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  CommandResult r;
+  r.code = run_command(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+TEST(Commands, NoArgumentsPrintsUsage) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Commands, UnknownCommandRejected) {
+  const auto r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Commands, SystemsListsTableOne) {
+  const auto r = run({"systems"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* name : {"M", "B", "D1", "D9"}) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Commands, ShowEmitsParseableJson) {
+  const auto r = run({"show", "--system=D4"});
+  ASSERT_EQ(r.code, 0);
+  const auto doc = util::Json::parse(r.out);
+  EXPECT_EQ(doc.at("name").as_string(), "D4");
+  EXPECT_DOUBLE_EQ(doc.at("mtbf").as_number(), 6.0);
+}
+
+TEST(Commands, MissingSystemIsUsageError) {
+  const auto r = run({"show"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--system"), std::string::npos);
+}
+
+TEST(Commands, NonexistentSystemFileIsRuntimeError) {
+  const auto r = run({"show", "--system=/no/such/file.json"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("file.json"), std::string::npos);
+}
+
+TEST(Commands, OptimizeWritesALoadablePlan) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mlck_cmd_plan.json")
+          .string();
+  const auto r =
+      run({"optimize", "--system=D5", "--out=" + path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Dauwe et al."), std::string::npos);
+  EXPECT_NE(r.out.find("predicted efficiency"), std::string::npos);
+  const auto plan = core::plan_from_json(
+      util::Json::parse(core::read_file(path)));
+  EXPECT_GT(plan.tau0, 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Commands, PredictOnSavedPlan) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mlck_cmd_predict.json")
+          .string();
+  ASSERT_EQ(run({"optimize", "--system=D3", "--out=" + path}).code, 0);
+  const auto r = run({"predict", "--system=D3", "--plan=" + path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("efficiency"), std::string::npos);
+  // Cross-model prediction on the same plan.
+  const auto di = run({"predict", "--system=D3", "--plan=" + path,
+                       "--model=di"});
+  EXPECT_EQ(di.code, 0);
+  std::filesystem::remove(path);
+}
+
+TEST(Commands, PredictRequiresPlan) {
+  const auto r = run({"predict", "--system=D3"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--plan"), std::string::npos);
+}
+
+TEST(Commands, SimulateWithTechniqueSelection) {
+  const auto r = run({"simulate", "--system=D6", "--technique=daly",
+                      "--trials=20", "--seed=9"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("efficiency mean"), std::string::npos);
+  EXPECT_NE(r.out.find("time shares"), std::string::npos);
+  EXPECT_NE(r.out.find("useful work"), std::string::npos);
+}
+
+TEST(Commands, SimulateDeterministicForSeed) {
+  const auto a = run({"simulate", "--system=D2", "--trials=15", "--seed=3"});
+  const auto b = run({"simulate", "--system=D2", "--trials=15", "--seed=3"});
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Commands, SimulateRejectsBadPolicy) {
+  const auto r = run({"simulate", "--system=D2", "--policy=chaos"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--policy"), std::string::npos);
+}
+
+TEST(Commands, CompareCoversAllSixTechniques) {
+  const auto r = run({"compare", "--system=D7", "--trials=10"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  for (const char* name : {"Dauwe et al.", "Di et al.", "Moody et al.",
+                           "Benoit et al.", "Daly", "Young"}) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Commands, TraceShowsTimeline) {
+  const auto r = run({"trace", "--system=D3", "--max-events=10"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("compute"), std::string::npos);
+  EXPECT_NE(r.out.find("checkpoint"), std::string::npos);
+  EXPECT_NE(r.out.find("efficiency"), std::string::npos);
+}
+
+TEST(Commands, SimulateAdaptiveFlag) {
+  const auto r = run({"simulate", "--system=D4", "--adaptive",
+                      "--trials=15", "--seed=2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("efficiency mean"), std::string::npos);
+}
+
+TEST(Commands, SimulateIntervalSchedule) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mlck_cmd_intervals.json")
+          .string();
+  core::write_file(path, R"({"levels": [0, 1], "periods": [3.0, 12.0]})");
+  const auto r = run({"simulate", "--system=D4", "--intervals=" + path,
+                      "--trials=15"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("L1:3"), std::string::npos);
+  EXPECT_NE(r.out.find("efficiency mean"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Commands, EnergyComparesObjectives) {
+  const auto r = run({"energy", "--system=D4", "--trials=10"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("time"), std::string::npos);
+  EXPECT_NE(r.out.find("EDP"), std::string::npos);
+  EXPECT_NE(r.out.find("sim energy/run"), std::string::npos);
+}
+
+TEST(Commands, EnergyRejectsNegativePower) {
+  const auto r = run({"energy", "--system=D4", "--checkpoint-power=-1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("power"), std::string::npos);
+}
+
+TEST(Commands, SensitivitySweepIsPeakedAtTheOptimum) {
+  const auto r = run({"sensitivity", "--system=D5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("tau0 factor"), std::string::npos);
+  // The factor-1.00 row is the reference: "0.00%".
+  EXPECT_NE(r.out.find("0.00%"), std::string::npos);
+  // Every other row is at or below it (negative deltas).
+  EXPECT_NE(r.out.find("-"), std::string::npos);
+}
+
+TEST(Commands, UnrecognizedOptionWarns) {
+  const auto r = run({"systems", "--bogus=1"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.err.find("--bogus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlck::app

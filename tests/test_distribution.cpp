@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/distribution.h"
+#include "math/exponential.h"
+#include "math/integrate.h"
+#include "util/rng.h"
+
+namespace mlck::math {
+namespace {
+
+TEST(Integrate, ExactForPolynomials) {
+  // Simpson is exact through cubics; the adaptive wrapper must be too.
+  EXPECT_NEAR(integrate([](double x) { return x * x * x; }, 0.0, 2.0), 4.0,
+              1e-12);
+  EXPECT_NEAR(integrate([](double x) { return 3.0 * x * x; }, -1.0, 1.0),
+              2.0, 1e-12);
+}
+
+TEST(Integrate, KnownTranscendentals) {
+  EXPECT_NEAR(integrate([](double x) { return std::sin(x); }, 0.0,
+                        3.141592653589793),
+              2.0, 1e-9);
+  EXPECT_NEAR(integrate([](double x) { return std::exp(-x); }, 0.0, 50.0),
+              1.0, 1e-9);
+}
+
+TEST(Integrate, DegenerateInterval) {
+  EXPECT_EQ(integrate([](double x) { return x; }, 2.0, 2.0), 0.0);
+  EXPECT_EQ(integrate([](double x) { return x; }, 3.0, 2.0), 0.0);
+}
+
+TEST(ExponentialDist, MatchesClosedFormKernels) {
+  const Exponential d(0.25);
+  for (const double t : {0.1, 1.0, 4.0, 20.0}) {
+    EXPECT_NEAR(d.cdf(t), failure_probability(t, 0.25), 1e-15);
+    EXPECT_NEAR(d.truncated_mean(t), truncated_mean(t, 0.25), 1e-15);
+  }
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+  EXPECT_NE(d.describe().find("exponential"), std::string::npos);
+}
+
+TEST(ExponentialDist, SampleMoments) {
+  const Exponential d(0.5);
+  util::Rng rng(1);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(ExponentialDist, RejectsBadRate) {
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+}
+
+TEST(WeibullDist, ShapeOneIsExponential) {
+  // Weibull(k=1, scale) == Exponential(rate=1/scale). This also
+  // cross-validates the numeric default truncated_mean against the
+  // exponential closed form.
+  const Weibull w(1.0, 5.0);
+  const Exponential e(0.2);
+  for (const double t : {0.5, 2.0, 10.0, 40.0}) {
+    EXPECT_NEAR(w.cdf(t), e.cdf(t), 1e-12);
+    EXPECT_NEAR(w.truncated_mean(t), e.truncated_mean(t), 1e-7)
+        << "t=" << t;
+  }
+  EXPECT_NEAR(w.mean(), 5.0, 1e-12);
+}
+
+TEST(WeibullDist, WithMeanHitsTheMean) {
+  for (const double shape : {0.5, 0.7, 1.0, 1.5, 3.0}) {
+    const Weibull w = Weibull::with_mean(10.0, shape);
+    EXPECT_NEAR(w.mean(), 10.0, 1e-9) << "shape=" << shape;
+    util::Rng rng(7);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += w.sample(rng);
+    // Heavy-tailed shapes need looser sampling tolerance.
+    EXPECT_NEAR(sum / n, 10.0, 0.35) << "shape=" << shape;
+  }
+}
+
+TEST(WeibullDist, SmallShapeHasHeavierTail) {
+  const Weibull heavy = Weibull::with_mean(10.0, 0.7);
+  const Weibull expo = Weibull::with_mean(10.0, 1.0);
+  // Same mean, but more mass far out *and* more mass very early — the
+  // failure-burst behaviour.
+  EXPECT_LT(heavy.cdf(30.0), expo.cdf(30.0));
+  EXPECT_GT(heavy.cdf(1.0), expo.cdf(1.0));
+}
+
+TEST(WeibullDist, TruncatedMeanBelowWindowAndMonotone) {
+  const Weibull w = Weibull::with_mean(10.0, 0.7);
+  double previous = 0.0;
+  for (const double t : {1.0, 3.0, 9.0, 27.0, 81.0}) {
+    const double e = w.truncated_mean(t);
+    EXPECT_GT(e, previous);
+    EXPECT_LT(e, t);
+    previous = e;
+  }
+}
+
+TEST(WeibullDist, RejectsBadParameters) {
+  EXPECT_THROW(Weibull(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Weibull(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Weibull::with_mean(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(LogNormalDist, MeanAndMedian) {
+  const LogNormal d = LogNormal::with_mean(10.0, 0.8);
+  EXPECT_NEAR(d.mean(), 10.0, 1e-9);
+  // Median = exp(mu) = mean * exp(-sigma^2/2).
+  const double median = 10.0 * std::exp(-0.32);
+  EXPECT_NEAR(d.cdf(median), 0.5, 1e-9);
+}
+
+TEST(LogNormalDist, SampleMoments) {
+  const LogNormal d = LogNormal::with_mean(6.0, 0.5);
+  util::Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 6.0, 0.1);
+}
+
+TEST(LogNormalDist, NoMassAtOrBelowZero) {
+  const LogNormal d(1.0, 0.5);
+  EXPECT_EQ(d.cdf(0.0), 0.0);
+  EXPECT_EQ(d.cdf(-3.0), 0.0);
+}
+
+TEST(LogNormalDist, RejectsBadSigma) {
+  EXPECT_THROW(LogNormal(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(LogNormal::with_mean(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(GenericTruncatedMean, MatchesMonteCarloForWeibull) {
+  const Weibull w = Weibull::with_mean(8.0, 1.4);
+  const double window = 6.0;
+  util::Rng rng(11);
+  double sum = 0.0;
+  int hits = 0;
+  for (int i = 0; i < 400000; ++i) {
+    const double x = w.sample(rng);
+    if (x <= window) {
+      sum += x;
+      ++hits;
+    }
+  }
+  ASSERT_GT(hits, 1000);
+  EXPECT_NEAR(w.truncated_mean(window), sum / hits, 0.02);
+}
+
+}  // namespace
+}  // namespace mlck::math

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/effective.h"
+#include "systems/test_systems.h"
+
+namespace mlck::core {
+namespace {
+
+TEST(Effective, FullHierarchyKeepsPerLevelRates) {
+  const auto sys = systems::table1_system("B");
+  const CheckpointPlan plan = CheckpointPlan::full_hierarchy(1.0, {1, 1, 1});
+  const EffectiveSystem eff = make_effective(sys, plan);
+  ASSERT_EQ(eff.level.size(), 4u);
+  EXPECT_DOUBLE_EQ(eff.scratch_lambda, 0.0);
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_DOUBLE_EQ(eff.level[std::size_t(l)].lambda, sys.lambda(l));
+    EXPECT_DOUBLE_EQ(eff.level[std::size_t(l)].checkpoint_cost,
+                     sys.checkpoint_cost[std::size_t(l)]);
+    EXPECT_DOUBLE_EQ(eff.level[std::size_t(l)].severity_share,
+                     sys.severity_probability[std::size_t(l)]);
+  }
+}
+
+TEST(Effective, SkippedInteriorLevelRebinsSeverities) {
+  const auto sys = systems::table1_system("B");
+  CheckpointPlan plan;
+  plan.tau0 = 1.0;
+  plan.levels = {1, 3};  // skip levels 0 and 2
+  plan.counts = {2};
+  const EffectiveSystem eff = make_effective(sys, plan);
+  ASSERT_EQ(eff.level.size(), 2u);
+  // Severities 0 and 1 restart from used level 1; severities 2 and 3 from
+  // used level 3.
+  EXPECT_DOUBLE_EQ(eff.level[0].lambda, sys.lambda(0) + sys.lambda(1));
+  EXPECT_DOUBLE_EQ(eff.level[1].lambda, sys.lambda(2) + sys.lambda(3));
+  EXPECT_DOUBLE_EQ(eff.scratch_lambda, 0.0);
+  EXPECT_DOUBLE_EQ(eff.level[0].checkpoint_cost, sys.checkpoint_cost[1]);
+  EXPECT_DOUBLE_EQ(eff.level[1].restart_cost, sys.restart_cost[3]);
+}
+
+TEST(Effective, DroppedTopLevelsBecomeScratchRate) {
+  const auto sys = systems::table1_system("B");
+  CheckpointPlan plan;
+  plan.tau0 = 1.0;
+  plan.levels = {0, 1};  // severities 2, 3 unrecoverable
+  plan.counts = {3};
+  const EffectiveSystem eff = make_effective(sys, plan);
+  ASSERT_EQ(eff.level.size(), 2u);
+  EXPECT_DOUBLE_EQ(eff.scratch_lambda, sys.lambda(2) + sys.lambda(3));
+  EXPECT_DOUBLE_EQ(eff.level[0].lambda + eff.level[1].lambda +
+                       eff.scratch_lambda,
+                   sys.lambda_total());
+}
+
+TEST(Effective, SeverityShareRelativeToFullSystemRate) {
+  // The paper's S_k is lambda_k / lambda (all failures), even for plans
+  // using a subset of levels.
+  const auto sys = systems::table1_system("B");
+  CheckpointPlan plan;
+  plan.tau0 = 1.0;
+  plan.levels = {2, 3};
+  plan.counts = {1};
+  const EffectiveSystem eff = make_effective(sys, plan);
+  EXPECT_DOUBLE_EQ(eff.level[0].severity_share,
+                   (sys.lambda(0) + sys.lambda(1) + sys.lambda(2)) /
+                       sys.lambda_total());
+  EXPECT_DOUBLE_EQ(eff.level[1].severity_share,
+                   sys.lambda(3) / sys.lambda_total());
+}
+
+TEST(Effective, SingleLevelPlanAbsorbsEverything) {
+  const auto sys = systems::table1_system("M");
+  const CheckpointPlan plan = CheckpointPlan::single_level(10.0, 2);
+  const EffectiveSystem eff = make_effective(sys, plan);
+  ASSERT_EQ(eff.level.size(), 1u);
+  EXPECT_NEAR(eff.level[0].lambda, sys.lambda_total(), 1e-15);
+  EXPECT_NEAR(eff.level[0].severity_share, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(eff.scratch_lambda, 0.0);
+}
+
+}  // namespace
+}  // namespace mlck::core

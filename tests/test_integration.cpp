@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "exp/experiments.h"
+#include "exp/report.h"
+#include "models/registry.h"
+#include "systems/scaling.h"
+#include "systems/test_systems.h"
+
+namespace mlck::exp {
+namespace {
+
+ExperimentOptions quick_options(std::size_t trials = 60) {
+  ExperimentOptions opts;
+  opts.trials = trials;
+  opts.seed = 20180521;  // IPDPSW 2018
+  return opts;
+}
+
+TEST(Integration, DauweModelPredictsItsOwnSimulatedPerformance) {
+  // The headline claim: optimizing with the Dauwe model yields plans whose
+  // *predicted* efficiency tracks the *simulated* efficiency closely on
+  // moderate systems.
+  const auto technique = models::make_technique("dauwe");
+  for (const char* name : {"D1", "D3"}) {
+    const auto sys = systems::table1_system(name);
+    const TechniqueOutcome out =
+        evaluate_technique(*technique, sys, quick_options());
+    EXPECT_NEAR(out.predicted_efficiency, out.sim.efficiency.mean, 0.05)
+        << name;
+    EXPECT_GT(out.sim.efficiency.mean, 0.0);
+  }
+}
+
+TEST(Integration, DalyPredictionHighlyAccurate) {
+  // Sec. IV-C: Daly's equations are highly accurate for traditional C/R.
+  const auto technique = models::make_technique("daly");
+  const auto sys = systems::table1_system("D2");
+  const TechniqueOutcome out =
+      evaluate_technique(*technique, sys, quick_options());
+  EXPECT_NEAR(out.predicted_efficiency, out.sim.efficiency.mean, 0.04);
+}
+
+TEST(Integration, MultilevelBeatsTraditionalOnHardSystems) {
+  // Figure 2's first trend: multilevel checkpointing outperforms Daly's
+  // single-level C/R, increasingly so on harder systems.
+  const auto dauwe = models::make_technique("dauwe");
+  const auto daly = models::make_technique("daly");
+  const auto sys = systems::table1_system("D5");
+  const auto opts = quick_options();
+  const double ml = evaluate_technique(*dauwe, sys, opts).sim.efficiency.mean;
+  const double sl = evaluate_technique(*daly, sys, opts).sim.efficiency.mean;
+  EXPECT_GT(ml, sl + 0.03);
+}
+
+TEST(Integration, ShortApplicationGainsFromSkippingThePfsLevel) {
+  // Figure 5's effect, at one grid point: on a 30-minute application with
+  // 20-minute PFS checkpoints, Dauwe (level skipping) beats Moody (always
+  // all levels).
+  const auto sys = systems::scaled_system_b(9.0, 20.0, 30.0);
+  const auto dauwe = models::make_technique("dauwe");
+  const auto moody = models::make_technique("moody");
+  ExperimentOptions opts = quick_options(120);
+  const TechniqueOutcome d = evaluate_technique(*dauwe, sys, opts);
+  const TechniqueOutcome m = evaluate_technique(*moody, sys, opts);
+  EXPECT_LT(d.plan.top_system_level(), 3);
+  EXPECT_EQ(m.plan.top_system_level(), 3);
+  EXPECT_GT(d.sim.efficiency.mean, m.sim.efficiency.mean);
+}
+
+TEST(Integration, RunScenarioCollectsEveryTechnique) {
+  const auto sys = systems::table1_system("D2");
+  const auto techniques = models::multilevel_techniques();
+  const ScenarioResult result =
+      run_scenario(sys, "D2", techniques, quick_options(20));
+  ASSERT_EQ(result.outcomes.size(), 3u);
+  EXPECT_EQ(result.label, "D2");
+  for (const auto& o : result.outcomes) {
+    EXPECT_GT(o.sim.efficiency.mean, 0.0);
+    EXPECT_LE(o.sim.efficiency.max, 1.0);
+    EXPECT_GT(o.predicted_efficiency, 0.0);
+    EXPECT_EQ(o.sim.trials, 20u);
+  }
+  EXPECT_EQ(result.outcome("Moody et al.").technique, "Moody et al.");
+  EXPECT_THROW(result.outcome("nope"), std::out_of_range);
+}
+
+TEST(Integration, ScaledGridShapes) {
+  const auto grid = scaled_b_grid(1440.0, systems::figure4_pfs_cost_grid());
+  EXPECT_EQ(grid.size(), 20u);  // 4 PFS costs x 5 MTBFs
+  EXPECT_EQ(grid.front().pfs_cost, 10.0);
+  EXPECT_EQ(grid.front().mtbf, 26.0);
+  EXPECT_EQ(grid.back().pfs_cost, 40.0);
+  EXPECT_EQ(grid.back().mtbf, 3.0);
+  for (const auto& sc : grid) {
+    EXPECT_NO_THROW(sc.system.validate());
+    EXPECT_EQ(sc.system.base_time, 1440.0);
+  }
+}
+
+TEST(Integration, ReportsRenderAllSections) {
+  const auto sys = systems::table1_system("D2");
+  const auto techniques = models::multilevel_techniques();
+  std::vector<ScenarioResult> rows;
+  rows.push_back(run_scenario(sys, "D2", techniques, quick_options(10)));
+
+  std::ostringstream eff;
+  print_efficiency_table(eff, "Efficiency", rows);
+  EXPECT_NE(eff.str().find("Dauwe et al. sim"), std::string::npos);
+  EXPECT_NE(eff.str().find("D2"), std::string::npos);
+  EXPECT_NE(eff.str().find('%'), std::string::npos);
+
+  std::ostringstream brk;
+  print_breakdown_table(brk, "Breakdown", rows);
+  EXPECT_NE(brk.str().find("ckpt fail"), std::string::npos);
+
+  std::ostringstream err;
+  print_prediction_error_table(err, "Errors", rows, "Moody et al.");
+  EXPECT_NE(err.str().find("Moody et al. err"), std::string::npos);
+
+  std::ostringstream csv;
+  write_efficiency_csv(csv, rows);
+  EXPECT_NE(csv.str().find("sim_efficiency_mean"), std::string::npos);
+  EXPECT_NE(csv.str().find("Di et al."), std::string::npos);
+}
+
+TEST(Integration, PredictionErrorSignsMatchThePaperOnHardScenarios) {
+  // Figure 6: Di et al. over-estimates efficiency, the full Dauwe model
+  // stays closer to zero error, on a hard exascale-like scenario.
+  const auto sys = systems::scaled_system_b(9.0, 20.0, 1440.0);
+  ExperimentOptions opts = quick_options(60);
+  const auto di = models::make_technique("di");
+  const auto dauwe = models::make_technique("dauwe");
+  const TechniqueOutcome di_out = evaluate_technique(*di, sys, opts);
+  const TechniqueOutcome dauwe_out = evaluate_technique(*dauwe, sys, opts);
+  EXPECT_GT(di_out.prediction_error(), 0.0);
+  EXPECT_LT(std::abs(dauwe_out.prediction_error()),
+            std::abs(di_out.prediction_error()) + 0.05);
+}
+
+}  // namespace
+}  // namespace mlck::exp

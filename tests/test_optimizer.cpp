@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/dauwe_model.h"
+#include "core/optimizer.h"
+#include "models/daly.h"
+#include "models/moody.h"
+#include "systems/scaling.h"
+#include "systems/test_systems.h"
+
+namespace mlck::core {
+namespace {
+
+TEST(CountLadder, DenseLowEndGeometricTail) {
+  const auto ladder = count_ladder(128);
+  ASSERT_GE(ladder.size(), 10u);
+  // Every small count is present exactly.
+  for (int v = 0; v <= 8; ++v) EXPECT_EQ(ladder[std::size_t(v)], v);
+  // Strictly ascending, bounded, with bounded relative gaps.
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i], ladder[i - 1]);
+    EXPECT_LE(ladder[i], 128);
+    EXPECT_LE(ladder[i], ladder[i - 1] * 5 / 4 + 1);
+  }
+}
+
+TEST(CountLadder, TinyMax) {
+  EXPECT_EQ(count_ladder(0), std::vector<int>{0});
+  EXPECT_EQ(count_ladder(2), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Optimizer, SingleLevelRecoversDalyOptimum) {
+  // On a pure single-level problem the Dauwe model is Daly-like, so the
+  // optimizer's tau should be close to Daly's closed form and the
+  // achieved expected time at least as good.
+  const auto sys = systems::SystemConfig::from_table_row(
+      "single", 1, 100.0, {1.0}, {2.0}, 1000.0);
+  const DauweModel model;
+  const auto result = optimize_intervals(model, sys);
+  const double daly_tau = models::daly_optimal_interval(2.0, 100.0);
+  EXPECT_NEAR(result.plan.tau0 / daly_tau, 1.0, 0.25);
+  // The optimum is flat near tau*; expected time must be within 1% of the
+  // model evaluated at Daly's tau.
+  const auto daly_plan = CheckpointPlan::single_level(daly_tau, 0);
+  EXPECT_LE(result.expected_time,
+            model.expected_time(sys, daly_plan) * 1.01);
+}
+
+TEST(Optimizer, MatchesDenseBruteForceOnTwoLevels) {
+  const auto sys = systems::table1_system("D3");
+  const DauweModel model;
+  const auto result = optimize_intervals(model, sys);
+
+  // Dense reference sweep (feasible because L = 2).
+  double best = std::numeric_limits<double>::infinity();
+  for (int ti = 0; ti < 2000; ++ti) {
+    const double tau = 0.05 + 0.02 * ti;  // 0.05 .. 40.05 min
+    for (int n = 0; n <= 80; ++n) {
+      const auto plan = CheckpointPlan::full_hierarchy(tau, {n});
+      best = std::min(best, model.expected_time(sys, plan));
+    }
+  }
+  EXPECT_LE(result.expected_time, best * 1.005);
+}
+
+TEST(Optimizer, ResultIsFeasibleAndConsistent) {
+  const auto sys = systems::table1_system("B");
+  const DauweModel model;
+  const auto result = optimize_intervals(model, sys);
+  EXPECT_NO_THROW(result.plan.validate(sys));
+  EXPECT_TRUE(std::isfinite(result.expected_time));
+  EXPECT_NEAR(result.expected_time,
+              model.expected_time(sys, result.plan), 1e-9);
+  EXPECT_NEAR(result.efficiency, sys.base_time / result.expected_time,
+              1e-12);
+  EXPECT_GT(result.evaluations, 1000u);
+  // The pattern bound of Sec. III-C holds.
+  EXPECT_LE(result.plan.work_per_top_period(), sys.base_time);
+}
+
+TEST(Optimizer, DeterministicAcrossThreadCounts) {
+  const auto sys = systems::table1_system("D5");
+  const DauweModel model;
+  const auto serial = optimize_intervals(model, sys);
+  util::ThreadPool pool(3);
+  const auto parallel = optimize_intervals(model, sys, {}, &pool);
+  EXPECT_DOUBLE_EQ(serial.expected_time, parallel.expected_time);
+  EXPECT_DOUBLE_EQ(serial.plan.tau0, parallel.plan.tau0);
+  EXPECT_EQ(serial.plan.counts, parallel.plan.counts);
+  EXPECT_EQ(serial.plan.levels, parallel.plan.levels);
+}
+
+TEST(Optimizer, RestrictLevelsHonored) {
+  const auto sys = systems::table1_system("B");
+  const DauweModel model;
+  OptimizerOptions opts;
+  opts.restrict_levels = {2, 3};
+  const auto result = optimize_intervals(model, sys, opts);
+  EXPECT_EQ(result.plan.levels, (std::vector<int>{2, 3}));
+  EXPECT_EQ(result.plan.counts.size(), 1u);
+}
+
+TEST(Optimizer, ShortApplicationDropsTheExpensiveTopLevel) {
+  // Sec. IV-F: a 30-minute application on the scaled-B system with a
+  // 20-minute PFS checkpoint should not take PFS checkpoints at all.
+  const auto sys = systems::scaled_system_b(9.0, 20.0, 30.0);
+  const DauweModel model;
+  const auto result = optimize_intervals(model, sys);
+  EXPECT_LT(result.plan.top_system_level(), 3);
+}
+
+TEST(Optimizer, SuffixSkippingCanBeDisabled) {
+  const auto sys = systems::scaled_system_b(9.0, 20.0, 30.0);
+  const DauweModel model;
+  OptimizerOptions opts;
+  opts.allow_suffix_skipping = false;
+  const auto result = optimize_intervals(model, sys, opts);
+  EXPECT_EQ(result.plan.top_system_level(), 3);
+  EXPECT_EQ(result.plan.levels.size(), 4u);
+}
+
+TEST(Optimizer, SkippingNeverHurtsTheObjective) {
+  for (const char* name : {"D1", "D8"}) {
+    const auto sys = systems::table1_system(name);
+    const DauweModel model;
+    OptimizerOptions all_levels;
+    all_levels.allow_suffix_skipping = false;
+    const auto fixed = optimize_intervals(model, sys, all_levels);
+    const auto free = optimize_intervals(model, sys);
+    EXPECT_LE(free.expected_time, fixed.expected_time * (1.0 + 1e-9))
+        << name;
+  }
+}
+
+TEST(Optimizer, ThrowsWhenEveryPlanIsInfeasible) {
+  // The Moody model rejects plans that leave severities uncovered; with
+  // the level set pinned to the bottom level only, nothing is feasible.
+  const auto sys = systems::table1_system("D1");
+  const models::MoodyModel model;
+  OptimizerOptions opts;
+  opts.restrict_levels = {0};
+  EXPECT_THROW(optimize_intervals(model, sys, opts), std::runtime_error);
+}
+
+TEST(Optimizer, RefinementImprovesOnCoarsePass) {
+  // With refinement disabled the objective can only be worse or equal.
+  const auto sys = systems::table1_system("D7");
+  const DauweModel model;
+  OptimizerOptions no_refine;
+  no_refine.refine_rounds = 0;
+  const auto coarse = optimize_intervals(model, sys, no_refine);
+  const auto refined = optimize_intervals(model, sys);
+  EXPECT_LE(refined.expected_time, coarse.expected_time + 1e-9);
+}
+
+}  // namespace
+}  // namespace mlck::core

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/plan.h"
+#include "systems/test_systems.h"
+
+namespace mlck::core {
+namespace {
+
+TEST(Plan, IntervalPeriodsFollowPattern) {
+  // Fig. 1 pattern: two level-1 checkpoints before each level-2, one
+  // level-2 before each level-3.
+  const CheckpointPlan plan = CheckpointPlan::full_hierarchy(10.0, {2, 1});
+  EXPECT_EQ(plan.used_levels(), 3);
+  EXPECT_EQ(plan.interval_period(0), 1);
+  EXPECT_EQ(plan.interval_period(1), 3);
+  EXPECT_EQ(plan.interval_period(2), 6);
+  EXPECT_EQ(plan.pattern_period(), 6);
+  EXPECT_DOUBLE_EQ(plan.work_per_top_period(), 60.0);
+}
+
+TEST(Plan, CheckpointLevelSequenceMatchesFigureOne) {
+  const CheckpointPlan plan = CheckpointPlan::full_hierarchy(10.0, {2, 1});
+  // Intervals:      1  2  3  4  5  6
+  // Checkpoint lvl: 0  0  1  0  0  2   (0-based used indices)
+  const int expected[] = {0, 0, 1, 0, 0, 2};
+  for (long long j = 1; j <= 6; ++j) {
+    EXPECT_EQ(plan.checkpoint_after_interval(j), expected[j - 1]) << j;
+  }
+  // The pattern repeats.
+  for (long long j = 1; j <= 6; ++j) {
+    EXPECT_EQ(plan.checkpoint_after_interval(j + 6), expected[j - 1]);
+  }
+}
+
+TEST(Plan, ZeroCountMergesLevelIntoTheOneAbove) {
+  // N_1 = 0: no standalone level-1 checkpoints; every checkpoint is
+  // level-2 (which subsumes level-1).
+  const CheckpointPlan plan = CheckpointPlan::full_hierarchy(5.0, {0});
+  for (long long j = 1; j <= 4; ++j) {
+    EXPECT_EQ(plan.checkpoint_after_interval(j), 1);
+  }
+}
+
+TEST(Plan, TopPeriodsIsPaperN_L) {
+  const CheckpointPlan plan = CheckpointPlan::full_hierarchy(10.0, {2, 1});
+  EXPECT_DOUBLE_EQ(plan.top_periods(1440.0), 24.0);
+  EXPECT_DOUBLE_EQ(plan.top_periods(30.0), 0.5);
+}
+
+TEST(Plan, RestartLevelForSeverity) {
+  CheckpointPlan plan;
+  plan.tau0 = 1.0;
+  plan.levels = {0, 1, 3};
+  plan.counts = {2, 2};
+  EXPECT_EQ(plan.restart_level_for_severity(0).value(), 0);
+  EXPECT_EQ(plan.restart_level_for_severity(1).value(), 1);
+  EXPECT_EQ(plan.restart_level_for_severity(2).value(), 3);  // gap -> higher
+  EXPECT_EQ(plan.restart_level_for_severity(3).value(), 3);
+  EXPECT_FALSE(plan.restart_level_for_severity(4).has_value());
+}
+
+TEST(Plan, SingleLevelHelper) {
+  const CheckpointPlan plan = CheckpointPlan::single_level(42.0, 3);
+  EXPECT_EQ(plan.used_levels(), 1);
+  EXPECT_EQ(plan.top_system_level(), 3);
+  EXPECT_TRUE(plan.counts.empty());
+  EXPECT_EQ(plan.pattern_period(), 1);
+}
+
+TEST(Plan, ValidateAcceptsSubsetPlans) {
+  const auto sys = systems::table1_system("B");  // 4 levels
+  CheckpointPlan plan;
+  plan.tau0 = 3.0;
+  plan.levels = {0, 2, 3};
+  plan.counts = {4, 2};
+  EXPECT_NO_THROW(plan.validate(sys));
+}
+
+TEST(Plan, ValidateRejectsMalformedPlans) {
+  const auto sys = systems::table1_system("D1");  // 2 levels
+
+  CheckpointPlan bad_tau = CheckpointPlan::full_hierarchy(0.0, {3});
+  EXPECT_THROW(bad_tau.validate(sys), std::invalid_argument);
+
+  CheckpointPlan no_levels;
+  no_levels.tau0 = 1.0;
+  EXPECT_THROW(no_levels.validate(sys), std::invalid_argument);
+
+  CheckpointPlan out_of_range = CheckpointPlan::single_level(1.0, 5);
+  EXPECT_THROW(out_of_range.validate(sys), std::invalid_argument);
+
+  CheckpointPlan not_ascending;
+  not_ascending.tau0 = 1.0;
+  not_ascending.levels = {1, 0};
+  not_ascending.counts = {1};
+  EXPECT_THROW(not_ascending.validate(sys), std::invalid_argument);
+
+  CheckpointPlan count_mismatch;
+  count_mismatch.tau0 = 1.0;
+  count_mismatch.levels = {0, 1};
+  EXPECT_THROW(count_mismatch.validate(sys), std::invalid_argument);
+
+  CheckpointPlan negative_count;
+  negative_count.tau0 = 1.0;
+  negative_count.levels = {0, 1};
+  negative_count.counts = {-1};
+  EXPECT_THROW(negative_count.validate(sys), std::invalid_argument);
+}
+
+TEST(Plan, ToStringIsReadable) {
+  const CheckpointPlan plan = CheckpointPlan::full_hierarchy(2.5, {3, 1});
+  const std::string s = plan.to_string();
+  EXPECT_NE(s.find("tau0=2.5"), std::string::npos);
+  EXPECT_NE(s.find("levels=[0,1,2]"), std::string::npos);
+  EXPECT_NE(s.find("counts=[3,1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlck::core

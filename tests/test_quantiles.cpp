@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/quantiles.h"
+#include "util/rng.h"
+
+namespace mlck::stats {
+namespace {
+
+TEST(Quantile, EmptySampleIsZero) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(one, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(one, 1.0), 7.0);
+}
+
+TEST(Quantile, LinearInterpolationType7) {
+  // NumPy reference: np.quantile([1,2,3,4], [0, .25, .5, .75, 1])
+  //                  -> [1, 1.75, 2.5, 3.25, 4]
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 3.25);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+}
+
+TEST(Quantile, ClampedOutOfRangeProbabilities) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 3.0);
+}
+
+TEST(SummaryQuantiles, OrderedAndConsistentWithQuantile) {
+  util::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform());
+  const Quantiles q = summary_quantiles(xs);
+  EXPECT_LT(q.p05, q.p25);
+  EXPECT_LT(q.p25, q.median);
+  EXPECT_LT(q.median, q.p75);
+  EXPECT_LT(q.p75, q.p95);
+  EXPECT_DOUBLE_EQ(q.median, quantile(xs, 0.5));
+  EXPECT_DOUBLE_EQ(q.p95, quantile(xs, 0.95));
+  // Uniform sample: quantiles land near their probabilities.
+  EXPECT_NEAR(q.median, 0.5, 0.05);
+  EXPECT_NEAR(q.p05, 0.05, 0.03);
+}
+
+TEST(SummaryQuantiles, UntouchedInput) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const std::vector<double> copy = xs;
+  (void)summary_quantiles(xs);
+  EXPECT_EQ(xs, copy);  // works on a sorted copy
+}
+
+}  // namespace
+}  // namespace mlck::stats

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/serialize.h"
+#include "systems/test_systems.h"
+
+namespace mlck::core {
+namespace {
+
+TEST(SerializeSystem, RoundTripPreservesEveryField) {
+  for (const auto& original : systems::table1_systems()) {
+    const auto restored = system_from_json(to_json(original));
+    EXPECT_EQ(restored.name, original.name);
+    EXPECT_DOUBLE_EQ(restored.mtbf, original.mtbf);
+    EXPECT_EQ(restored.severity_probability, original.severity_probability);
+    EXPECT_EQ(restored.checkpoint_cost, original.checkpoint_cost);
+    EXPECT_EQ(restored.restart_cost, original.restart_cost);
+    EXPECT_DOUBLE_EQ(restored.base_time, original.base_time);
+  }
+}
+
+TEST(SerializeSystem, RestartCostDefaultsToCheckpointCost) {
+  const auto doc = util::Json::parse(R"({
+    "mtbf": 50, "base_time": 100,
+    "severity_probability": [0.8, 0.2],
+    "checkpoint_cost": [0.5, 2.0]
+  })");
+  const auto sys = system_from_json(doc);
+  EXPECT_EQ(sys.restart_cost, sys.checkpoint_cost);
+  EXPECT_EQ(sys.name, "unnamed");
+}
+
+TEST(SerializeSystem, InvalidDocumentsRejected) {
+  // Missing mandatory key.
+  EXPECT_THROW(system_from_json(util::Json::parse(R"({"mtbf": 50})")),
+               util::JsonError);
+  // Fails SystemConfig::validate (severities do not sum to 1).
+  EXPECT_THROW(system_from_json(util::Json::parse(R"({
+    "mtbf": 50, "base_time": 100,
+    "severity_probability": [0.5, 0.2],
+    "checkpoint_cost": [0.5, 2.0]
+  })")),
+               std::invalid_argument);
+}
+
+TEST(SerializePlan, RoundTrip) {
+  CheckpointPlan plan;
+  plan.tau0 = 1.9221704227164327;
+  plan.levels = {0, 2, 3};
+  plan.counts = {4, 1};
+  const auto restored = plan_from_json(to_json(plan));
+  EXPECT_DOUBLE_EQ(restored.tau0, plan.tau0);
+  EXPECT_EQ(restored.levels, plan.levels);
+  EXPECT_EQ(restored.counts, plan.counts);
+}
+
+TEST(SerializePlan, CountsOptionalForSingleLevel) {
+  const auto plan = plan_from_json(
+      util::Json::parse(R"({"tau0": 5.5, "levels": [1]})"));
+  EXPECT_DOUBLE_EQ(plan.tau0, 5.5);
+  EXPECT_TRUE(plan.counts.empty());
+}
+
+TEST(SerializeIntervalSchedule, RoundTrip) {
+  IntervalSchedule schedule;
+  schedule.levels = {0, 1};
+  schedule.periods = {4.25, 17.0};
+  const auto restored = interval_schedule_from_json(to_json(schedule));
+  EXPECT_EQ(restored.levels, schedule.levels);
+  EXPECT_EQ(restored.periods, schedule.periods);
+}
+
+TEST(Files, WriteThenReadBack) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "mlck_serialize_test.json";
+  write_file(path.string(), "{\"x\": 1}\n");
+  EXPECT_EQ(read_file(path.string()), "{\"x\": 1}\n");
+  std::filesystem::remove(path);
+}
+
+TEST(Files, MissingFileThrowsWithPath) {
+  try {
+    read_file("/nonexistent/mlck/nope.json");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nope.json"), std::string::npos);
+  }
+}
+
+TEST(LoadSystem, ResolvesTableNamesAndFiles) {
+  EXPECT_EQ(load_system("D5").name, "D5");
+  const auto path =
+      std::filesystem::temp_directory_path() / "mlck_load_test.json";
+  write_file(path.string(), to_json(systems::table1_system("B")).dump(2));
+  const auto from_file = load_system(path.string());
+  EXPECT_EQ(from_file.name, "B");
+  EXPECT_EQ(from_file.levels(), 4);
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_system("no-such-system"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mlck::core

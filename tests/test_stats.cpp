@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/hypothesis.h"
+#include "stats/summary.h"
+#include "stats/welford.h"
+#include "util/rng.h"
+
+namespace mlck::stats {
+namespace {
+
+TEST(Welford, EmptyAndSingleObservation) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.variance(), 0.0);
+  w.add(3.5);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.5);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 3.5);
+  EXPECT_DOUBLE_EQ(w.max(), 3.5);
+}
+
+TEST(Welford, MatchesNaiveTwoPass) {
+  const std::vector<double> xs{1.0, 2.5, -3.0, 7.25, 0.0, 4.5, 4.5};
+  Welford w;
+  double sum = 0.0;
+  for (const double x : xs) {
+    w.add(x);
+    sum += x;
+  }
+  const double mean = sum / double(xs.size());
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - mean) * (x - mean);
+  const double var = ss / double(xs.size() - 1);
+  EXPECT_NEAR(w.mean(), mean, 1e-12);
+  EXPECT_NEAR(w.variance(), var, 1e-12);
+  EXPECT_NEAR(w.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), -3.0);
+  EXPECT_DOUBLE_EQ(w.max(), 7.25);
+}
+
+TEST(Welford, StableForLargeOffsets) {
+  // Sum-of-squares formulas lose all precision here; Welford must not.
+  Welford w;
+  const double offset = 1e12;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) w.add(x);
+  EXPECT_NEAR(w.variance(), 1.0, 1e-6);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  util::Rng rng(11);
+  Welford all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10.0 - 5.0;
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford a, b;
+  a.add(1.0);
+  a.add(3.0);
+  Welford a_copy = a;
+  a.merge(b);  // empty right
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty left
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Summary, ConfidenceIntervalShrinksWithN) {
+  Welford small, large;
+  util::Rng rng(13);
+  for (int i = 0; i < 20; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 2000; ++i) large.add(rng.uniform());
+  const Summary s = summarize(small);
+  const Summary l = summarize(large);
+  EXPECT_GT(s.ci95_halfwidth(), l.ci95_halfwidth());
+  // Half width ~ 1.96 sd / sqrt(n).
+  EXPECT_NEAR(l.ci95_halfwidth(),
+              1.96 * l.stddev / std::sqrt(2000.0), 1e-12);
+}
+
+TEST(NormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-4);
+  EXPECT_NEAR(normal_cdf(4.0), 0.9999683, 1e-6);
+}
+
+TEST(WelchTest, DetectsClearSeparation) {
+  Welford a, b;
+  util::Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    a.add(0.60 + 0.05 * (rng.uniform() - 0.5));
+    b.add(0.40 + 0.05 * (rng.uniform() - 0.5));
+  }
+  const WelchResult r = welch_test(summarize(a), summarize(b));
+  EXPECT_GT(r.statistic, 10.0);
+  EXPECT_TRUE(r.significant());
+  EXPECT_LT(r.p_two_sided, 1e-6);
+}
+
+TEST(WelchTest, NoFalsePositiveOnIdenticalPopulations) {
+  Welford a, b;
+  util::Rng rng(19);
+  for (int i = 0; i < 400; ++i) {
+    a.add(rng.uniform());
+    b.add(rng.uniform());
+  }
+  const WelchResult r = welch_test(summarize(a), summarize(b));
+  EXPECT_LT(std::abs(r.statistic), 3.0);
+}
+
+TEST(WelchTest, DegenerateInputs) {
+  Welford a, b;
+  a.add(1.0);
+  b.add(2.0);
+  // Single observations: no variance estimate, test abstains (p = 1).
+  const WelchResult r = welch_test(summarize(a), summarize(b));
+  EXPECT_EQ(r.p_two_sided, 1.0);
+
+  Welford c, d;
+  for (int i = 0; i < 10; ++i) {
+    c.add(5.0);
+    d.add(5.0);
+  }
+  const WelchResult same = welch_test(summarize(c), summarize(d));
+  EXPECT_EQ(same.p_two_sided, 1.0);
+  for (int i = 0; i < 10; ++i) d.add(6.0);
+  const WelchResult diff = welch_test(summarize(c), summarize(d));
+  EXPECT_TRUE(diff.significant());
+}
+
+}  // namespace
+}  // namespace mlck::stats

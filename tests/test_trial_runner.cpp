@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/trial_runner.h"
+#include "systems/test_systems.h"
+
+namespace mlck::sim {
+namespace {
+
+using core::CheckpointPlan;
+
+TEST(TrialRunner, ReproducibleForEqualSeeds) {
+  const auto sys = systems::table1_system("D2");
+  const auto plan = CheckpointPlan::full_hierarchy(3.0, {4});
+  const TrialStats a = run_trials(sys, plan, 40, 777);
+  const TrialStats b = run_trials(sys, plan, 40, 777);
+  EXPECT_DOUBLE_EQ(a.efficiency.mean, b.efficiency.mean);
+  EXPECT_DOUBLE_EQ(a.efficiency.stddev, b.efficiency.stddev);
+  EXPECT_DOUBLE_EQ(a.total_time.mean, b.total_time.mean);
+  EXPECT_DOUBLE_EQ(a.mean_failures, b.mean_failures);
+}
+
+TEST(TrialRunner, DifferentSeedsDiffer) {
+  const auto sys = systems::table1_system("D2");
+  const auto plan = CheckpointPlan::full_hierarchy(3.0, {4});
+  const TrialStats a = run_trials(sys, plan, 40, 777);
+  const TrialStats b = run_trials(sys, plan, 40, 778);
+  EXPECT_NE(a.efficiency.mean, b.efficiency.mean);
+}
+
+TEST(TrialRunner, PoolAndSerialExecutionAgreeExactly) {
+  const auto sys = systems::table1_system("D3");
+  const auto plan = CheckpointPlan::full_hierarchy(2.0, {5});
+  const TrialStats serial = run_trials(sys, plan, 32, 99, {}, nullptr);
+  util::ThreadPool pool(4);
+  const TrialStats pooled = run_trials(sys, plan, 32, 99, {}, &pool);
+  EXPECT_DOUBLE_EQ(serial.efficiency.mean, pooled.efficiency.mean);
+  EXPECT_DOUBLE_EQ(serial.efficiency.stddev, pooled.efficiency.stddev);
+  EXPECT_DOUBLE_EQ(serial.time_shares.useful, pooled.time_shares.useful);
+}
+
+TEST(TrialRunner, TimeSharesNormalizedToOne) {
+  const auto sys = systems::table1_system("D6");
+  const auto plan = CheckpointPlan::full_hierarchy(2.0, {4});
+  const TrialStats stats = run_trials(sys, plan, 50, 5);
+  EXPECT_NEAR(stats.time_shares.total(), 1.0, 1e-9);
+  EXPECT_GT(stats.time_shares.useful, 0.0);
+  EXPECT_GT(stats.time_shares.checkpoint_ok, 0.0);
+}
+
+TEST(TrialRunner, SummariesCarrySampleCount) {
+  const auto sys = systems::table1_system("D1");
+  const auto plan = CheckpointPlan::full_hierarchy(5.0, {3});
+  const TrialStats stats = run_trials(sys, plan, 25, 1);
+  EXPECT_EQ(stats.trials, 25u);
+  EXPECT_EQ(stats.efficiency.count, 25u);
+  EXPECT_GT(stats.efficiency.mean, 0.0);
+  EXPECT_LE(stats.efficiency.max, 1.0);
+  EXPECT_GT(stats.mean_failures, 1.0);  // MTBF 51 min, T_B 1440 min
+}
+
+TEST(TrialRunner, CapsHopelessRuns) {
+  const auto sys = systems::SystemConfig::from_table_row(
+      "doom", 1, 0.05, {1.0}, {20.0}, 50.0);
+  const auto plan = CheckpointPlan::single_level(1.0, 0);
+  SimOptions opts;
+  opts.max_time_factor = 20.0;
+  const TrialStats stats = run_trials(sys, plan, 8, 3, opts);
+  EXPECT_EQ(stats.capped_trials, 8u);
+  EXPECT_LT(stats.efficiency.mean, 0.05);
+}
+
+TEST(TrialRunner, EfficiencyVarianceShrinksForEasierSystems) {
+  const auto plan = CheckpointPlan::full_hierarchy(10.0, {4});
+  const auto easy = systems::table1_system("D1");   // MTBF 51.42
+  const auto hard = systems::table1_system("D4");   // MTBF 6
+  const TrialStats e = run_trials(easy, plan, 60, 11);
+  const TrialStats h = run_trials(hard, plan, 60, 11);
+  EXPECT_GT(e.efficiency.mean, h.efficiency.mean);
+}
+
+}  // namespace
+}  // namespace mlck::sim

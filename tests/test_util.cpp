@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/parallel.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace mlck::util {
+namespace {
+
+TEST(Table, AlignsColumnsAndFormatsNumbers) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.5, 2)});
+  t.add_row({"beta-longer", Table::num(-12.126, 2)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("-12.13"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(Table::pct(0.123456), "12.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+  EXPECT_EQ(Table::pct(0.005, 2), "0.50%");
+}
+
+TEST(Table, NumericCellsRightAligned) {
+  Table t({"label", "v"});
+  t.add_row({"x", "1.0"});
+  t.add_row({"y", "100.0"});
+  const std::string s = t.to_string();
+  // "1.0" must be padded on the left to align with "100.0".
+  EXPECT_NE(s.find("  1.0"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b,c", "d"});
+  EXPECT_EQ(os.str(), "a,\"b,c\",d\n");
+}
+
+TEST(Cli, ParsesOptionsAndPositionals) {
+  const char* argv[] = {"prog", "--trials=50", "--verbose", "input.txt",
+                        "--ratio=2.5"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("trials", 0), 50);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 2.5);
+  EXPECT_EQ(cli.get_string("missing", "dflt"), "dflt");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(Cli, ReportsUnrecognizedOptions) {
+  const char* argv[] = {"prog", "--known=1", "--typo=2"};
+  Cli cli(3, argv);
+  (void)cli.get_int("known", 0);
+  const auto unknown = cli.unrecognized();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Cli, BoolValues) {
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=true", "--d"};
+  Cli cli(5, argv);
+  EXPECT_FALSE(cli.get_bool("a", true));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_TRUE(cli.get_bool("d", false));
+  EXPECT_TRUE(cli.get_bool("absent", true));
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  parallel_for(&pool, hits.size(), [&](std::size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, SequentialFallbackMatchesPool) {
+  std::vector<int> serial(257, 0), pooled(257, 0);
+  parallel_for(nullptr, serial.size(),
+               [&](std::size_t i) { serial[i] = static_cast<int>(i * i); });
+  ThreadPool pool(4);
+  parallel_for(&pool, pooled.size(),
+               [&](std::size_t i) { pooled[i] = static_cast<int>(i * i); });
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(&pool, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+}  // namespace
+}  // namespace mlck::util

@@ -1,0 +1,16 @@
+// The `mlck` command-line tool: optimize, predict, simulate, and compare
+// multilevel checkpoint schedules without writing C++. All logic lives in
+// src/app/commands.cpp so it is unit-testable; this file only adapts
+// argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "app/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return mlck::app::run_command(args, std::cout, std::cerr);
+}
