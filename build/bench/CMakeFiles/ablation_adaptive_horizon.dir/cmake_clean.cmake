@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_horizon.dir/ablation_adaptive_horizon.cpp.o"
+  "CMakeFiles/ablation_adaptive_horizon.dir/ablation_adaptive_horizon.cpp.o.d"
+  "ablation_adaptive_horizon"
+  "ablation_adaptive_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_energy_objective.dir/ablation_energy_objective.cpp.o"
+  "CMakeFiles/ablation_energy_objective.dir/ablation_energy_objective.cpp.o.d"
+  "ablation_energy_objective"
+  "ablation_energy_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

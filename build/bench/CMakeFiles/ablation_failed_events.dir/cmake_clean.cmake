@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failed_events.dir/ablation_failed_events.cpp.o"
+  "CMakeFiles/ablation_failed_events.dir/ablation_failed_events.cpp.o.d"
+  "ablation_failed_events"
+  "ablation_failed_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failed_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

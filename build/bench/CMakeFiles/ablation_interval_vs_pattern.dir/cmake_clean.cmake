@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interval_vs_pattern.dir/ablation_interval_vs_pattern.cpp.o"
+  "CMakeFiles/ablation_interval_vs_pattern.dir/ablation_interval_vs_pattern.cpp.o.d"
+  "ablation_interval_vs_pattern"
+  "ablation_interval_vs_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interval_vs_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_level_skipping.dir/ablation_level_skipping.cpp.o"
+  "CMakeFiles/ablation_level_skipping.dir/ablation_level_skipping.cpp.o.d"
+  "ablation_level_skipping"
+  "ablation_level_skipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_level_skipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_restart_semantics.dir/ablation_restart_semantics.cpp.o"
+  "CMakeFiles/ablation_restart_semantics.dir/ablation_restart_semantics.cpp.o.d"
+  "ablation_restart_semantics"
+  "ablation_restart_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_restart_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

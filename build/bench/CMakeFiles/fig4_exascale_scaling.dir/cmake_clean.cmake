@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_exascale_scaling.dir/fig4_exascale_scaling.cpp.o"
+  "CMakeFiles/fig4_exascale_scaling.dir/fig4_exascale_scaling.cpp.o.d"
+  "fig4_exascale_scaling"
+  "fig4_exascale_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_exascale_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_short_application.dir/fig5_short_application.cpp.o"
+  "CMakeFiles/fig5_short_application.dir/fig5_short_application.cpp.o.d"
+  "fig5_short_application"
+  "fig5_short_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_short_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_prediction_error.cpp" "bench/CMakeFiles/fig6_prediction_error.dir/fig6_prediction_error.cpp.o" "gcc" "bench/CMakeFiles/fig6_prediction_error.dir/fig6_prediction_error.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/mlck_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mlck_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/mlck_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mlck_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mlck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/mlck_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlck_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mlck_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_runtime.dir/embedded_runtime.cpp.o"
+  "CMakeFiles/embedded_runtime.dir/embedded_runtime.cpp.o.d"
+  "embedded_runtime"
+  "embedded_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

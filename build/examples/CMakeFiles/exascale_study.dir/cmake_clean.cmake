@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exascale_study.dir/exascale_study.cpp.o"
+  "CMakeFiles/exascale_study.dir/exascale_study.cpp.o.d"
+  "exascale_study"
+  "exascale_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exascale_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

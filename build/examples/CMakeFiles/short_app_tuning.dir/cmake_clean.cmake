@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/short_app_tuning.dir/short_app_tuning.cpp.o"
+  "CMakeFiles/short_app_tuning.dir/short_app_tuning.cpp.o.d"
+  "short_app_tuning"
+  "short_app_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/short_app_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_app.dir/commands.cpp.o"
+  "CMakeFiles/mlck_app.dir/commands.cpp.o.d"
+  "libmlck_app.a"
+  "libmlck_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

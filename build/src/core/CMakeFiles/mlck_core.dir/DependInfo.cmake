@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/mlck_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/mlck_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/dauwe_model.cpp" "src/core/CMakeFiles/mlck_core.dir/dauwe_model.cpp.o" "gcc" "src/core/CMakeFiles/mlck_core.dir/dauwe_model.cpp.o.d"
+  "/root/repo/src/core/effective.cpp" "src/core/CMakeFiles/mlck_core.dir/effective.cpp.o" "gcc" "src/core/CMakeFiles/mlck_core.dir/effective.cpp.o.d"
+  "/root/repo/src/core/interval_schedule.cpp" "src/core/CMakeFiles/mlck_core.dir/interval_schedule.cpp.o" "gcc" "src/core/CMakeFiles/mlck_core.dir/interval_schedule.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/mlck_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/mlck_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/mlck_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/mlck_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/mlck_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/mlck_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/technique.cpp" "src/core/CMakeFiles/mlck_core.dir/technique.cpp.o" "gcc" "src/core/CMakeFiles/mlck_core.dir/technique.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/mlck_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mlck_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

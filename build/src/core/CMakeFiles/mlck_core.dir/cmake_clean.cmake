@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_core.dir/adaptive.cpp.o"
+  "CMakeFiles/mlck_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/mlck_core.dir/dauwe_model.cpp.o"
+  "CMakeFiles/mlck_core.dir/dauwe_model.cpp.o.d"
+  "CMakeFiles/mlck_core.dir/effective.cpp.o"
+  "CMakeFiles/mlck_core.dir/effective.cpp.o.d"
+  "CMakeFiles/mlck_core.dir/interval_schedule.cpp.o"
+  "CMakeFiles/mlck_core.dir/interval_schedule.cpp.o.d"
+  "CMakeFiles/mlck_core.dir/optimizer.cpp.o"
+  "CMakeFiles/mlck_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mlck_core.dir/plan.cpp.o"
+  "CMakeFiles/mlck_core.dir/plan.cpp.o.d"
+  "CMakeFiles/mlck_core.dir/serialize.cpp.o"
+  "CMakeFiles/mlck_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/mlck_core.dir/technique.cpp.o"
+  "CMakeFiles/mlck_core.dir/technique.cpp.o.d"
+  "libmlck_core.a"
+  "libmlck_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

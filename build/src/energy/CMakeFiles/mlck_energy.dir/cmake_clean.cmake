@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_energy.dir/power_model.cpp.o"
+  "CMakeFiles/mlck_energy.dir/power_model.cpp.o.d"
+  "libmlck_energy.a"
+  "libmlck_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

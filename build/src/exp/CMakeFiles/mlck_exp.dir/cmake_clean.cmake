@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_exp.dir/experiments.cpp.o"
+  "CMakeFiles/mlck_exp.dir/experiments.cpp.o.d"
+  "CMakeFiles/mlck_exp.dir/plot.cpp.o"
+  "CMakeFiles/mlck_exp.dir/plot.cpp.o.d"
+  "CMakeFiles/mlck_exp.dir/report.cpp.o"
+  "CMakeFiles/mlck_exp.dir/report.cpp.o.d"
+  "libmlck_exp.a"
+  "libmlck_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

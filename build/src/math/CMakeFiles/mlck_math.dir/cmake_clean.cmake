@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_math.dir/distribution.cpp.o"
+  "CMakeFiles/mlck_math.dir/distribution.cpp.o.d"
+  "CMakeFiles/mlck_math.dir/exponential.cpp.o"
+  "CMakeFiles/mlck_math.dir/exponential.cpp.o.d"
+  "CMakeFiles/mlck_math.dir/integrate.cpp.o"
+  "CMakeFiles/mlck_math.dir/integrate.cpp.o.d"
+  "CMakeFiles/mlck_math.dir/retry.cpp.o"
+  "CMakeFiles/mlck_math.dir/retry.cpp.o.d"
+  "libmlck_math.a"
+  "libmlck_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/benoit.cpp" "src/models/CMakeFiles/mlck_models.dir/benoit.cpp.o" "gcc" "src/models/CMakeFiles/mlck_models.dir/benoit.cpp.o.d"
+  "/root/repo/src/models/daly.cpp" "src/models/CMakeFiles/mlck_models.dir/daly.cpp.o" "gcc" "src/models/CMakeFiles/mlck_models.dir/daly.cpp.o.d"
+  "/root/repo/src/models/di.cpp" "src/models/CMakeFiles/mlck_models.dir/di.cpp.o" "gcc" "src/models/CMakeFiles/mlck_models.dir/di.cpp.o.d"
+  "/root/repo/src/models/interval_baseline.cpp" "src/models/CMakeFiles/mlck_models.dir/interval_baseline.cpp.o" "gcc" "src/models/CMakeFiles/mlck_models.dir/interval_baseline.cpp.o.d"
+  "/root/repo/src/models/interval_tuner.cpp" "src/models/CMakeFiles/mlck_models.dir/interval_tuner.cpp.o" "gcc" "src/models/CMakeFiles/mlck_models.dir/interval_tuner.cpp.o.d"
+  "/root/repo/src/models/moody.cpp" "src/models/CMakeFiles/mlck_models.dir/moody.cpp.o" "gcc" "src/models/CMakeFiles/mlck_models.dir/moody.cpp.o.d"
+  "/root/repo/src/models/registry.cpp" "src/models/CMakeFiles/mlck_models.dir/registry.cpp.o" "gcc" "src/models/CMakeFiles/mlck_models.dir/registry.cpp.o.d"
+  "/root/repo/src/models/young.cpp" "src/models/CMakeFiles/mlck_models.dir/young.cpp.o" "gcc" "src/models/CMakeFiles/mlck_models.dir/young.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/mlck_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mlck_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlck_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlck_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_models.dir/benoit.cpp.o"
+  "CMakeFiles/mlck_models.dir/benoit.cpp.o.d"
+  "CMakeFiles/mlck_models.dir/daly.cpp.o"
+  "CMakeFiles/mlck_models.dir/daly.cpp.o.d"
+  "CMakeFiles/mlck_models.dir/di.cpp.o"
+  "CMakeFiles/mlck_models.dir/di.cpp.o.d"
+  "CMakeFiles/mlck_models.dir/interval_baseline.cpp.o"
+  "CMakeFiles/mlck_models.dir/interval_baseline.cpp.o.d"
+  "CMakeFiles/mlck_models.dir/interval_tuner.cpp.o"
+  "CMakeFiles/mlck_models.dir/interval_tuner.cpp.o.d"
+  "CMakeFiles/mlck_models.dir/moody.cpp.o"
+  "CMakeFiles/mlck_models.dir/moody.cpp.o.d"
+  "CMakeFiles/mlck_models.dir/registry.cpp.o"
+  "CMakeFiles/mlck_models.dir/registry.cpp.o.d"
+  "CMakeFiles/mlck_models.dir/young.cpp.o"
+  "CMakeFiles/mlck_models.dir/young.cpp.o.d"
+  "libmlck_models.a"
+  "libmlck_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/advisor.cpp" "src/runtime/CMakeFiles/mlck_runtime.dir/advisor.cpp.o" "gcc" "src/runtime/CMakeFiles/mlck_runtime.dir/advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/mlck_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mlck_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_runtime.dir/advisor.cpp.o"
+  "CMakeFiles/mlck_runtime.dir/advisor.cpp.o.d"
+  "libmlck_runtime.a"
+  "libmlck_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

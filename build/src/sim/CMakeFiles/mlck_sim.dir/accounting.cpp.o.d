@@ -1,0 +1,3 @@
+src/sim/CMakeFiles/mlck_sim.dir/accounting.cpp.o: \
+ /root/repo/src/sim/accounting.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/sim/accounting.h

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_sim.dir/accounting.cpp.o"
+  "CMakeFiles/mlck_sim.dir/accounting.cpp.o.d"
+  "CMakeFiles/mlck_sim.dir/failure_source.cpp.o"
+  "CMakeFiles/mlck_sim.dir/failure_source.cpp.o.d"
+  "CMakeFiles/mlck_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mlck_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mlck_sim.dir/trial_runner.cpp.o"
+  "CMakeFiles/mlck_sim.dir/trial_runner.cpp.o.d"
+  "libmlck_sim.a"
+  "libmlck_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/mlck_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/mlck_stats.dir/quantiles.cpp.o"
+  "CMakeFiles/mlck_stats.dir/quantiles.cpp.o.d"
+  "CMakeFiles/mlck_stats.dir/summary.cpp.o"
+  "CMakeFiles/mlck_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/mlck_stats.dir/welford.cpp.o"
+  "CMakeFiles/mlck_stats.dir/welford.cpp.o.d"
+  "libmlck_stats.a"
+  "libmlck_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/scaling.cpp" "src/systems/CMakeFiles/mlck_systems.dir/scaling.cpp.o" "gcc" "src/systems/CMakeFiles/mlck_systems.dir/scaling.cpp.o.d"
+  "/root/repo/src/systems/system_config.cpp" "src/systems/CMakeFiles/mlck_systems.dir/system_config.cpp.o" "gcc" "src/systems/CMakeFiles/mlck_systems.dir/system_config.cpp.o.d"
+  "/root/repo/src/systems/test_systems.cpp" "src/systems/CMakeFiles/mlck_systems.dir/test_systems.cpp.o" "gcc" "src/systems/CMakeFiles/mlck_systems.dir/test_systems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

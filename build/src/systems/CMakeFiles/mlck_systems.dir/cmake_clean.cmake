@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_systems.dir/scaling.cpp.o"
+  "CMakeFiles/mlck_systems.dir/scaling.cpp.o.d"
+  "CMakeFiles/mlck_systems.dir/system_config.cpp.o"
+  "CMakeFiles/mlck_systems.dir/system_config.cpp.o.d"
+  "CMakeFiles/mlck_systems.dir/test_systems.cpp.o"
+  "CMakeFiles/mlck_systems.dir/test_systems.cpp.o.d"
+  "libmlck_systems.a"
+  "libmlck_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

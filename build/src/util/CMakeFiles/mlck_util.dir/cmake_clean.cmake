@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck_util.dir/cli.cpp.o"
+  "CMakeFiles/mlck_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mlck_util.dir/csv.cpp.o"
+  "CMakeFiles/mlck_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mlck_util.dir/json.cpp.o"
+  "CMakeFiles/mlck_util.dir/json.cpp.o.d"
+  "CMakeFiles/mlck_util.dir/parallel.cpp.o"
+  "CMakeFiles/mlck_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/mlck_util.dir/rng.cpp.o"
+  "CMakeFiles/mlck_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mlck_util.dir/table.cpp.o"
+  "CMakeFiles/mlck_util.dir/table.cpp.o.d"
+  "CMakeFiles/mlck_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mlck_util.dir/thread_pool.cpp.o.d"
+  "libmlck_util.a"
+  "libmlck_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

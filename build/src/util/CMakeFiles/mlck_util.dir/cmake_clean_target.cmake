@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlck_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dauwe_model.dir/test_dauwe_model.cpp.o"
+  "CMakeFiles/test_dauwe_model.dir/test_dauwe_model.cpp.o.d"
+  "test_dauwe_model"
+  "test_dauwe_model.pdb"
+  "test_dauwe_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dauwe_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_effective.dir/test_effective.cpp.o"
+  "CMakeFiles/test_effective.dir/test_effective.cpp.o.d"
+  "test_effective"
+  "test_effective.pdb"
+  "test_effective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_effective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

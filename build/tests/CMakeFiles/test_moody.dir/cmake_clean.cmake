@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moody.dir/test_moody.cpp.o"
+  "CMakeFiles/test_moody.dir/test_moody.cpp.o.d"
+  "test_moody"
+  "test_moody.pdb"
+  "test_moody[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

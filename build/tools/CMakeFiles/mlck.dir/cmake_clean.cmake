@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlck.dir/mlck.cpp.o"
+  "CMakeFiles/mlck.dir/mlck.cpp.o.d"
+  "mlck"
+  "mlck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
