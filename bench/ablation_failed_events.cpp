@@ -27,11 +27,13 @@ int main(int argc, char** argv) {
   for (const auto& sys : mlck::systems::table1_systems()) {
     if (sys.name == "M" || sys.name == "B") continue;  // D-series focus
     mlck::bench::progress("ablation failed-events: " + sys.name);
+    std::unique_ptr<const mlck::math::FailureDistribution> law;
+    const auto options = cfg.options_for(sys, law);
     for (const bool ablated : {false, true}) {
       const auto& technique =
           ablated ? ablated_technique : full_technique;
       const auto out =
-          mlck::exp::evaluate_technique(technique, sys, cfg.options);
+          mlck::exp::evaluate_technique(technique, sys, options);
       table.add_row({sys.name,
                      ablated ? "no failed C/R terms" : "full model",
                      Table::num(out.plan.tau0, 3),

@@ -4,14 +4,12 @@
 // failure processes with identical MTBF but different inter-arrival laws:
 // exponential (the modeling assumption), bursty Weibull (shape 0.7, the
 // regime reported for production HPC logs), mild Weibull (shape 1.5), and
-// log-normal.
+// log-normal. Each law is a declarative engine::DistributionSpec, so the
+// whole study is four scenario variants per system.
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/technique.h"
-#include "math/distribution.h"
-#include "sim/trial_runner.h"
 #include "systems/test_systems.h"
 #include "util/table.h"
 
@@ -20,32 +18,48 @@ int main(int argc, char** argv) {
   mlck::bench::BenchConfig cfg(cli, /*default_trials=*/200);
   mlck::bench::reject_unknown_flags(cli);
 
+  using mlck::engine::DistributionSpec;
   using mlck::util::Table;
-  const mlck::core::DauweTechnique technique;
+
+  DistributionSpec exponential;
+  DistributionSpec weibull_07;
+  weibull_07.kind = DistributionSpec::Kind::kWeibull;
+  weibull_07.shape = 0.7;
+  DistributionSpec weibull_15;
+  weibull_15.kind = DistributionSpec::Kind::kWeibull;
+  weibull_15.shape = 1.5;
+  DistributionSpec lognormal;
+  lognormal.kind = DistributionSpec::Kind::kLogNormal;
+  lognormal.sigma = 1.0;
 
   Table table({"system", "distribution", "sim eff", "sd", "pred eff",
                "pred err"});
   for (const char* name : {"D1", "D3", "D5", "D7", "D8"}) {
-    const auto sys = mlck::systems::table1_system(name);
     mlck::bench::progress("ablation failure-distribution: " +
                           std::string(name));
-    const auto selected = technique.select_plan(sys, cfg.options.pool);
+    mlck::engine::ScenarioSpec scenario = cfg.spec;
+    scenario.system = mlck::systems::table1_system(name);
+    scenario.system_ref = name;
 
-    const mlck::math::Exponential expo(sys.lambda_total());
-    const auto weibull_07 = mlck::math::Weibull::with_mean(sys.mtbf, 0.7);
-    const auto weibull_15 = mlck::math::Weibull::with_mean(sys.mtbf, 1.5);
-    const auto lognormal = mlck::math::LogNormal::with_mean(sys.mtbf, 1.0);
-    const mlck::math::FailureDistribution* laws[] = {&expo, &weibull_07,
-                                                     &weibull_15, &lognormal};
-    for (const auto* law : laws) {
+    // One plan per system (selected under the exponential model), then
+    // re-simulated under each law with the same seed.
+    const auto selected =
+        scenario.make_engine().optimize(scenario.optimizer, cfg.pool.get());
+
+    // All four laws — including the exponential control — run through the
+    // same renewal-source machinery so the rows differ only in the law.
+    for (const DistributionSpec& law :
+         {exponential, weibull_07, weibull_15, lognormal}) {
+      scenario.distribution = law;
+      const auto dist = law.make(scenario.system);
       const auto stats = mlck::sim::run_trials_with_distribution(
-          sys, selected.plan, *law, cfg.options.trials, cfg.options.seed,
-          cfg.options.sim, cfg.options.pool);
-      table.add_row({name, law->describe(),
+          scenario.system, selected.plan, *dist, scenario.trials,
+          scenario.seed, scenario.sim, cfg.pool.get());
+      table.add_row({name, dist->describe(),
                      Table::pct(stats.efficiency.mean),
                      Table::pct(stats.efficiency.stddev),
-                     Table::pct(selected.predicted_efficiency),
-                     Table::pct(selected.predicted_efficiency -
+                     Table::pct(selected.efficiency),
+                     Table::pct(selected.efficiency -
                                     stats.efficiency.mean, 2)});
     }
   }

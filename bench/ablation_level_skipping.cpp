@@ -28,12 +28,12 @@ int main(int argc, char** argv) {
       base_time, mlck::systems::figure5_pfs_cost_grid());
   for (const auto& sc : grid) {
     mlck::bench::progress("ablation level-skipping: " + sc.label);
+    std::unique_ptr<const mlck::math::FailureDistribution> law;
+    const auto options = cfg.options_for(sc.system, law);
     const auto skip =
-        mlck::exp::evaluate_technique(free_technique, sc.system,
-                                      cfg.options);
+        mlck::exp::evaluate_technique(free_technique, sc.system, options);
     const auto all =
-        mlck::exp::evaluate_technique(forced_technique, sc.system,
-                                      cfg.options);
+        mlck::exp::evaluate_technique(forced_technique, sc.system, options);
     table.add_row(
         {sc.label, std::to_string(skip.plan.top_system_level() + 1),
          Table::pct(skip.sim.efficiency.mean),

@@ -4,8 +4,10 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
+#include "engine/scenario.h"
 #include "exp/experiments.h"
 #include "exp/plot.h"
 #include "util/cli.h"
@@ -13,26 +15,84 @@
 
 namespace mlck::bench {
 
-/// Options shared by every experiment driver. Defaults reproduce the
-/// paper's settings; --trials/--seed/--threads override them for quick
-/// runs (the README documents this).
+/// Options shared by every experiment driver, expressed as a declarative
+/// engine::ScenarioSpec template (the system field is filled in per sweep
+/// point by each driver). Defaults reproduce the paper's settings;
+/// --trials/--seed/--threads/--dist override them for quick runs or
+/// non-exponential stress studies, and --spec=file.json loads a whole
+/// scenario document (CLI flags still win afterwards).
 struct BenchConfig {
-  exp::ExperimentOptions options;
+  engine::ScenarioSpec spec;
   std::unique_ptr<util::ThreadPool> pool;
+  exp::ExperimentOptions options;  ///< derived from spec; what drivers use
   bool csv = false;
   std::string plot_prefix;  ///< --plot=prefix writes prefix.dat/.gp
 
   explicit BenchConfig(const util::Cli& cli, std::size_t default_trials) {
-    options.trials = static_cast<std::size_t>(
-        cli.get_int("trials", static_cast<int>(default_trials)));
-    options.seed = static_cast<std::uint64_t>(
-        cli.get_int("seed", 20180521));
+    if (const auto path = cli.value("spec"); path && !path->empty()) {
+      spec = engine::ScenarioSpec::load(*path);
+    } else {
+      spec.trials = default_trials;
+      spec.seed = 20180521;
+    }
+    spec.trials = static_cast<std::size_t>(
+        cli.get_int("trials", static_cast<int>(spec.trials)));
+    spec.seed = static_cast<std::uint64_t>(
+        cli.get_int("seed", static_cast<int>(spec.seed)));
+    if (const auto dist = cli.value("dist"); dist && !dist->empty()) {
+      spec.distribution = parse_distribution(*dist);
+    }
     csv = cli.get_bool("csv", false);
     plot_prefix = cli.get_string("plot", "");
     const int threads = cli.get_int("threads", 0);
     pool = std::make_unique<util::ThreadPool>(
         static_cast<std::size_t>(threads));
+
+    options.trials = spec.trials;
+    options.seed = spec.seed;
+    options.sim = spec.sim;
     options.pool = pool.get();
+    // Distribution instantiation needs a concrete system (the default
+    // mean is the system MTBF); drivers that sweep systems call
+    // options_for(system) per point instead.
+  }
+
+  /// Experiment options for one concrete system, with the scenario's
+  /// failure distribution materialized against that system's MTBF. The
+  /// returned options borrow @p distribution_storage, which must outlive
+  /// their use.
+  exp::ExperimentOptions options_for(
+      const systems::SystemConfig& system,
+      std::unique_ptr<const math::FailureDistribution>& distribution_storage)
+      const {
+    engine::ScenarioSpec point = spec;
+    point.system = system;
+    point.system_ref.clear();
+    return exp::options_from(point, pool.get(), distribution_storage);
+  }
+
+  /// Parses --dist=exponential | weibull[:shape] | lognormal[:sigma].
+  static engine::DistributionSpec parse_distribution(
+      const std::string& text) {
+    engine::DistributionSpec dist;
+    const auto colon = text.find(':');
+    const std::string kind = text.substr(0, colon);
+    const std::string param =
+        colon == std::string::npos ? "" : text.substr(colon + 1);
+    if (kind == "exponential") {
+      dist.kind = engine::DistributionSpec::Kind::kExponential;
+    } else if (kind == "weibull") {
+      dist.kind = engine::DistributionSpec::Kind::kWeibull;
+      if (!param.empty()) dist.shape = std::stod(param);
+    } else if (kind == "lognormal") {
+      dist.kind = engine::DistributionSpec::Kind::kLogNormal;
+      if (!param.empty()) dist.sigma = std::stod(param);
+    } else {
+      throw std::invalid_argument(
+          "unknown --dist (use exponential|weibull[:shape]|"
+          "lognormal[:sigma]): " + text);
+    }
+    return dist;
   }
 
   /// Writes <prefix>.dat and <prefix>.gp so `gnuplot <prefix>.gp` renders

@@ -1,0 +1,134 @@
+// Engine baseline: optimizer throughput with and without the cached
+// evaluation context. The direct path rebuilds every tau-independent
+// per-level quantity (effective rates, severity shares, retry terms) on
+// each model evaluation; the engine path builds them once per
+// (system, level-subset) and reuses them across the whole sweep. Both
+// paths drive the identical search, so the result check below is exact
+// equality, not a tolerance.
+//
+// Writes BENCH_engine.json (deterministic key order via util::Json) so
+// the speedup is a tracked artifact rather than a one-off observation.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/dauwe_model.h"
+#include "core/optimizer.h"
+#include "core/serialize.h"
+#include "engine/evaluation.h"
+#include "systems/test_systems.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using mlck::util::Json;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Best-of-repeats wall time of one optimizer run.
+template <typename Fn>
+double time_best(int repeats, const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+bool identical(const mlck::core::OptimizationResult& a,
+               const mlck::core::OptimizationResult& b) {
+  return a.plan.tau0 == b.plan.tau0 && a.plan.counts == b.plan.counts &&
+         a.plan.levels == b.plan.levels &&
+         a.expected_time == b.expected_time &&
+         a.evaluations == b.evaluations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mlck::util::Cli cli(argc, argv);
+  const int repeats = cli.get_int("repeats", 3);
+  const std::string out = cli.get_string("out", "BENCH_engine.json");
+  const int threads = cli.get_int("threads", 0);
+  mlck::bench::reject_unknown_flags(cli);
+  mlck::util::ThreadPool pool(static_cast<std::size_t>(threads));
+
+  mlck::util::Table table({"system", "evals", "direct s", "engine s",
+                           "direct evals/s", "engine evals/s", "speedup"});
+  Json::Array systems_json;
+  double worst_speedup = std::numeric_limits<double>::infinity();
+
+  for (const char* name : {"B", "D5", "D9"}) {
+    mlck::bench::progress("bench engine: " + std::string(name));
+    const auto sys = mlck::systems::table1_system(name);
+    const mlck::core::DauweModel model;
+    const mlck::engine::EvaluationEngine engine(sys);
+    const mlck::core::OptimizerOptions opts;
+
+    // One untimed warm-up each: populates the engine's context cache and
+    // faults in code/data so both timed paths start warm.
+    const auto direct = mlck::core::optimize_intervals(model, sys, opts,
+                                                       &pool);
+    const auto cached = engine.optimize(opts, &pool);
+    if (!identical(direct, cached)) {
+      std::cerr << "FATAL: engine result diverges from direct model on "
+                << name << "\n";
+      return 1;
+    }
+
+    const double direct_s = time_best(repeats, [&] {
+      mlck::core::optimize_intervals(model, sys, opts, &pool);
+    });
+    const double engine_s =
+        time_best(repeats, [&] { engine.optimize(opts, &pool); });
+
+    const auto evals = static_cast<double>(direct.evaluations);
+    const double speedup = direct_s / engine_s;
+    worst_speedup = std::min(worst_speedup, speedup);
+    table.add_row({name, std::to_string(direct.evaluations),
+                   mlck::util::Table::num(direct_s, 4),
+                   mlck::util::Table::num(engine_s, 4),
+                   mlck::util::Table::num(evals / direct_s, 0),
+                   mlck::util::Table::num(evals / engine_s, 0),
+                   mlck::util::Table::num(speedup, 2) + "x"});
+
+    Json::Object row;
+    row["system"] = name;
+    row["levels"] = sys.levels();
+    row["evaluations"] = static_cast<double>(direct.evaluations);
+    row["direct_seconds"] = direct_s;
+    row["engine_seconds"] = engine_s;
+    row["direct_evals_per_sec"] = evals / direct_s;
+    row["engine_evals_per_sec"] = evals / engine_s;
+    row["speedup"] = speedup;
+    row["bit_identical"] = true;
+    systems_json.emplace_back(std::move(row));
+  }
+
+  Json::Object doc;
+  doc["benchmark"] = "engine_cached_context_vs_direct";
+  doc["optimizer"] = "optimize_intervals default options";
+  doc["repeats"] = repeats;
+  doc["threads"] = threads;
+  doc["systems"] = std::move(systems_json);
+  doc["min_speedup"] = worst_speedup;
+  mlck::core::write_file(out, Json(std::move(doc)).dump(2) + "\n");
+
+  std::cout << "Engine benchmark: cached EvaluationContext vs direct "
+               "DauweModel (identical search, exact-equal results)\n";
+  table.print(std::cout);
+  std::cout << "\nwrote " << out << "\n";
+  return worst_speedup > 1.0 ? 0 : 3;
+}

@@ -20,8 +20,9 @@ int main(int argc, char** argv) {
   std::vector<mlck::exp::ScenarioResult> rows;
   for (const auto& sys : mlck::systems::table1_systems()) {
     mlck::bench::progress("figure 2: system " + sys.name);
-    rows.push_back(
-        mlck::exp::run_scenario(sys, sys.name, techniques, cfg.options));
+    std::unique_ptr<const mlck::math::FailureDistribution> law;
+    rows.push_back(mlck::exp::run_scenario(sys, sys.name, techniques,
+                                           cfg.options_for(sys, law)));
   }
 
   mlck::exp::print_efficiency_table(

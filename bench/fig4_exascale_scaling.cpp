@@ -23,9 +23,10 @@ int main(int argc, char** argv) {
   std::vector<mlck::exp::ScenarioResult> rows;
   for (const auto& sc : grid) {
     mlck::bench::progress("figure 4: " + sc.label);
+    std::unique_ptr<const mlck::math::FailureDistribution> law;
     rows.push_back(
         mlck::exp::run_scenario(sc.system, sc.label, techniques,
-                                cfg.options));
+                                cfg.options_for(sc.system, law)));
   }
 
   mlck::exp::print_efficiency_table(

@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include "core/adaptive.h"
+#include "core/dauwe_kernel.h"
 #include "core/dauwe_model.h"
 #include "core/optimizer.h"
 #include "core/serialize.h"
+#include "engine/evaluation.h"
 #include "math/distribution.h"
 #include "math/exponential.h"
 #include "models/interval_baseline.h"
@@ -60,6 +62,20 @@ void BM_DauweEvalFourLevel(benchmark::State& state) {
 }
 BENCHMARK(BM_DauweEvalFourLevel);
 
+// Same evaluation as BM_DauweEvalFourLevel but through a prebuilt
+// DauweKernel: the tau-independent per-level terms are computed once
+// instead of per call. The ratio of these two cases is the per-eval win
+// the engine's context cache banks across an optimizer sweep.
+void BM_DauweKernelEvalFourLevel(benchmark::State& state) {
+  const auto sys = mlck::systems::table1_system("B");
+  const auto plan = CheckpointPlan::full_hierarchy(2.0, {3, 2, 2});
+  const mlck::core::DauweKernel kernel(sys, plan.levels, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.expected_time(plan.tau0, plan.counts));
+  }
+}
+BENCHMARK(BM_DauweKernelEvalFourLevel);
+
 void BM_MoodyEvalFourLevel(benchmark::State& state) {
   const auto sys = mlck::systems::table1_system("B");
   const mlck::models::MoodyModel model;
@@ -78,6 +94,19 @@ void BM_OptimizeTwoLevelSystem(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimizeTwoLevelSystem)->Unit(benchmark::kMillisecond);
+
+// The same search through the engine's cached contexts (bit-identical
+// result); compare against BM_OptimizeTwoLevelSystem for the sweep-level
+// speedup.
+void BM_OptimizeTwoLevelSystemCached(benchmark::State& state) {
+  const auto sys = mlck::systems::table1_system("D5");
+  const mlck::engine::EvaluationEngine engine(sys);
+  engine.optimize();  // warm the context cache outside the timed loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.optimize());
+  }
+}
+BENCHMARK(BM_OptimizeTwoLevelSystemCached)->Unit(benchmark::kMillisecond);
 
 void BM_SimulateTrialD5(benchmark::State& state) {
   const auto sys = mlck::systems::table1_system("D5");

@@ -4,11 +4,14 @@
 // the "a 15-minute MTBF with >10-minute PFS checkpoints drops below 50%
 // efficiency" observation.
 //
+// The sweep is one ScenarioSpec template with the system swapped per
+// point; everything else (trials, seed, model options) stays declared in
+// one place.
+//
 //   $ ./exascale_study [--pfs=20] [--trials=100]
 #include <iostream>
 
-#include "core/technique.h"
-#include "sim/trial_runner.h"
+#include "engine/scenario.h"
 #include "systems/scaling.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -17,28 +20,27 @@ int main(int argc, char** argv) {
   using mlck::util::Table;
   const mlck::util::Cli cli(argc, argv);
   const double pfs = cli.get_double("pfs", 20.0);
-  const auto trials =
-      static_cast<std::size_t>(cli.get_int("trials", 100));
+
+  mlck::engine::ScenarioSpec scenario;
+  scenario.trials = static_cast<std::size_t>(cli.get_int("trials", 100));
+  scenario.seed = 11;
 
   std::cout << "Multilevel checkpointing viability, 1440-minute "
                "application, PFS cost "
             << pfs << " min (paper Sec. IV-E)\n\n";
 
-  const mlck::core::DauweTechnique technique;
   Table table({"MTBF (min)", "plan", "sim eff", "sd", "useful work",
                "failed C/R time"});
   for (const double mtbf : {60.0, 26.0, 20.0, 15.0, 9.0, 6.0, 3.0}) {
-    const auto system = mlck::systems::scaled_system_b(mtbf, pfs, 1440.0);
-    const auto selected = technique.select_plan(system);
-    const auto stats =
-        mlck::sim::run_trials(system, selected.plan, trials, /*seed=*/11);
+    scenario.system = mlck::systems::scaled_system_b(mtbf, pfs, 1440.0);
+    const auto outcome = mlck::engine::run_scenario(scenario);
     table.add_row(
-        {Table::num(mtbf, 0), selected.plan.to_string(),
-         Table::pct(stats.efficiency.mean),
-         Table::pct(stats.efficiency.stddev),
-         Table::pct(stats.time_shares.useful),
-         Table::pct(stats.time_shares.checkpoint_failed +
-                    stats.time_shares.restart_failed)});
+        {Table::num(mtbf, 0), outcome.selected.plan.to_string(),
+         Table::pct(outcome.stats.efficiency.mean),
+         Table::pct(outcome.stats.efficiency.stddev),
+         Table::pct(outcome.stats.time_shares.useful),
+         Table::pct(outcome.stats.time_shares.checkpoint_failed +
+                    outcome.stats.time_shares.restart_failed)});
   }
   table.print(std::cout);
 

@@ -1,16 +1,17 @@
-// Quickstart: describe your platform, let the library pick checkpoint
-// intervals, and validate the choice against the failure simulator.
+// Quickstart: describe your platform as a scenario, let the engine pick
+// checkpoint intervals, and validate the choice against the failure
+// simulator.
 //
 //   $ ./quickstart
 //
-// Walks through the three core API calls:
-//   1. systems::SystemConfig      — what the machine and app look like
-//   2. core::DauweTechnique       — model-driven interval selection
-//   3. sim::run_trials            — Monte-Carlo validation
+// Walks through the two calls of the scenario API:
+//   1. engine::ScenarioSpec  — machine + app + evaluation settings, one
+//                              JSON-round-trippable value
+//   2. engine::run_scenario  — cached model-driven interval selection
+//                              plus Monte-Carlo validation
 #include <iostream>
 
-#include "core/technique.h"
-#include "sim/trial_runner.h"
+#include "engine/scenario.h"
 #include "systems/system_config.h"
 #include "util/table.h"
 
@@ -21,27 +22,34 @@ int main() {
   // XOR, parallel file system), an 8-hour application, one failure every
   // two hours. 60% of failures are recoverable from local RAM, 30% need
   // the partner copy, 10% need the PFS. All times in minutes.
-  const auto system = mlck::systems::SystemConfig::from_table_row(
+  mlck::engine::ScenarioSpec scenario;
+  scenario.system = mlck::systems::SystemConfig::from_table_row(
       "demo-cluster", /*levels=*/3, /*mtbf=*/120.0,
       /*severity=*/{0.6, 0.3, 0.1},
       /*checkpoint=restart cost=*/{0.05, 0.6, 6.0},
       /*base_time=*/480.0);
+  scenario.trials = 200;
+  scenario.seed = 1;
 
-  // Select checkpoint intervals with the paper's execution-time model.
-  const mlck::core::DauweTechnique technique;
-  const auto selected = technique.select_plan(system);
+  // The same document the mlck CLI consumes (`mlck scenario --spec=...`).
+  std::cout << "Scenario document:\n"
+            << scenario.to_json().dump(2) << "\n\n";
 
-  std::cout << "System: " << system.name << " (MTBF " << system.mtbf
-            << " min, " << system.levels() << " checkpoint levels)\n"
+  // Select intervals with the paper's execution-time model (through the
+  // cached evaluation engine) and validate with simulated runs under
+  // random failures — one call does both.
+  const auto outcome = mlck::engine::run_scenario(scenario);
+  const auto& selected = outcome.selected;
+  const auto& stats = outcome.stats;
+
+  std::cout << "System: " << scenario.system.name << " (MTBF "
+            << scenario.system.mtbf << " min, " << scenario.system.levels()
+            << " checkpoint levels)\n"
             << "Selected plan: " << selected.plan.to_string() << "\n"
             << "  computation interval tau0 = " << selected.plan.tau0
             << " min\n"
             << "Predicted efficiency: "
             << Table::pct(selected.predicted_efficiency) << "\n\n";
-
-  // Validate with 200 simulated runs under random failures.
-  const auto stats =
-      mlck::sim::run_trials(system, selected.plan, 200, /*seed=*/1);
 
   Table table({"metric", "value"});
   table.add_row({"simulated efficiency (mean)",

@@ -6,12 +6,12 @@
 // Compares the paper's technique (which weighs the app's total runtime
 // and drops unprofitable levels) against Moody et al.'s steady-state
 // optimizer (which always uses every level), and tests the efficiency
-// difference for statistical significance.
+// difference for statistical significance. The two runs are the same
+// ScenarioSpec with only the model name changed.
 #include <iostream>
+#include <string>
 
-#include "core/technique.h"
-#include "models/moody.h"
-#include "sim/trial_runner.h"
+#include "engine/scenario.h"
 #include "stats/hypothesis.h"
 #include "systems/scaling.h"
 #include "util/cli.h"
@@ -24,30 +24,28 @@ int main(int argc, char** argv) {
   const double pfs = cli.get_double("pfs", 20.0);
   const double base_time = cli.get_double("base-time", 30.0);
 
-  const auto system = mlck::systems::scaled_system_b(mtbf, pfs, base_time);
+  mlck::engine::ScenarioSpec scenario;
+  scenario.system = mlck::systems::scaled_system_b(mtbf, pfs, base_time);
+  scenario.trials = 400;
+  scenario.seed = 7;
   std::cout << "Scenario: " << base_time << "-minute application, MTBF "
             << mtbf << " min, PFS checkpoint/restart " << pfs << " min\n\n";
-
-  const mlck::core::DauweTechnique dauwe;
-  const mlck::models::MoodyTechnique moody;
 
   Table table({"technique", "plan", "uses PFS level", "sim eff", "sd",
                "predicted"});
   mlck::stats::Summary dauwe_eff, moody_eff;
-  for (const mlck::core::Technique* technique :
-       {static_cast<const mlck::core::Technique*>(&dauwe),
-        static_cast<const mlck::core::Technique*>(&moody)}) {
-    const auto selected = technique->select_plan(system);
-    const auto stats = mlck::sim::run_trials(system, selected.plan,
-                                             /*trials=*/400, /*seed=*/7);
-    const bool uses_pfs =
-        selected.plan.top_system_level() == system.levels() - 1;
-    table.add_row({technique->name(), selected.plan.to_string(),
+  for (const std::string model : {"dauwe", "moody"}) {
+    scenario.model = model;
+    const auto outcome = mlck::engine::run_scenario(scenario);
+    const auto& selected = outcome.selected;
+    const bool uses_pfs = selected.plan.top_system_level() ==
+                          scenario.system.levels() - 1;
+    table.add_row({selected.technique, selected.plan.to_string(),
                    uses_pfs ? "yes" : "no",
-                   Table::pct(stats.efficiency.mean),
-                   Table::pct(stats.efficiency.stddev),
+                   Table::pct(outcome.stats.efficiency.mean),
+                   Table::pct(outcome.stats.efficiency.stddev),
                    Table::pct(selected.predicted_efficiency)});
-    (technique == &dauwe ? dauwe_eff : moody_eff) = stats.efficiency;
+    (model == "dauwe" ? dauwe_eff : moody_eff) = outcome.stats.efficiency;
   }
   table.print(std::cout);
 

@@ -3,19 +3,35 @@
 # table/figure plus the ablations, and (optionally) renders the figures
 # with gnuplot. Artifacts land in ./reproduction/.
 #
-# Usage: scripts/reproduce.sh [--quick]
-#   --quick   use 40 trials per bar instead of the paper's 200/400
+# Usage: scripts/reproduce.sh [--quick] [--sanitize]
+#   --quick     use 40 trials per bar instead of the paper's 200/400
+#   --sanitize  additionally build with ASan+UBSan (-DMLCK_SANITIZE=ON)
+#               in build-asan/ and run the full test suite under the
+#               sanitizers before the reproduction sweep
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TRIALS_FLAG=""
-if [[ "${1:-}" == "--quick" ]]; then
-  TRIALS_FLAG="--trials=40"
-fi
+SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick)    TRIALS_FLAG="--trials=40" ;;
+    --sanitize) SANITIZE=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+if [[ "$SANITIZE" == 1 ]]; then
+  echo "== sanitized test run (ASan + UBSan) =="
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DMLCK_SANITIZE=ON
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
 
 mkdir -p reproduction
 run() {

@@ -6,6 +6,8 @@
 
 #include "core/adaptive.h"
 #include "core/dauwe_model.h"
+#include "engine/evaluation.h"
+#include "engine/scenario.h"
 #include "energy/power_model.h"
 #include "core/optimizer.h"
 #include "core/serialize.h"
@@ -211,30 +213,105 @@ int cmd_sensitivity(const Cli& cli, std::ostream& out) {
   // How sharply does expected efficiency fall off around the selected
   // computation interval? (Daly's classic observation: the optimum is
   // flat, so interval estimates can be rough. The sweep quantifies how
-  // flat, per system.)
+  // flat, per system.) The tau variants share one cached evaluation
+  // context through the engine's batch API.
   const auto system = system_from(cli);
   const auto technique =
       models::make_technique(cli.get_string("technique", "dauwe"));
   const auto selected = technique->select_plan(system);
-  const core::DauweModel model;
+  const engine::EvaluationEngine eng(system);
+
+  static constexpr double kFactors[] = {0.25, 0.5, 0.7, 0.85, 1.0,
+                                        1.2,  1.5, 2.0, 4.0};
+  std::vector<core::CheckpointPlan> variants;
+  core::CheckpointPlan reference = selected.plan;
+  variants.push_back(reference);
+  for (const double factor : kFactors) {
+    core::CheckpointPlan plan = selected.plan;
+    plan.tau0 = selected.plan.tau0 * factor;
+    variants.push_back(plan);
+  }
+  const std::vector<double> times = eng.expected_times(variants);
+  const double best = system.base_time / times[0];
 
   Table table({"tau0 factor", "tau0 (min)", "predicted eff",
                "vs optimum"});
-  const auto prediction_at = [&](double tau) {
-    core::CheckpointPlan plan = selected.plan;
-    plan.tau0 = tau;
-    return system.base_time / model.expected_time(system, plan);
-  };
-  const double best = prediction_at(selected.plan.tau0);
-  for (const double factor :
-       {0.25, 0.5, 0.7, 0.85, 1.0, 1.2, 1.5, 2.0, 4.0}) {
-    const double tau = selected.plan.tau0 * factor;
-    const double eff = prediction_at(tau);
-    table.add_row({Table::num(factor, 2), Table::num(tau, 3),
-                   Table::pct(eff), Table::pct(eff - best, 2)});
+  for (std::size_t i = 0; i < std::size(kFactors); ++i) {
+    const double eff = system.base_time / times[i + 1];
+    table.add_row({Table::num(kFactors[i], 2),
+                   Table::num(variants[i + 1].tau0, 3), Table::pct(eff),
+                   Table::pct(eff - best, 2)});
   }
   out << "plan " << selected.plan.to_string() << "\n";
   table.print(out);
+  return 0;
+}
+
+int cmd_scenario(const Cli& cli, std::ostream& out) {
+  // Emit mode: write a complete spec document for a system to start from.
+  if (const auto emit = cli.value("emit-spec"); emit.has_value()) {
+    engine::ScenarioSpec spec;
+    const auto name = cli.value("system");
+    if (!name || name->empty()) {
+      throw std::out_of_range(
+          "--system=<name|file.json> is required with --emit-spec");
+    }
+    spec.system = core::load_system(*name);
+    // Table I names round-trip as references, files as inline documents.
+    if (spec.system.name == *name) spec.system_ref = *name;
+    const std::string text = spec.to_json().dump(2) + "\n";
+    if (emit->empty()) {
+      out << text;
+    } else {
+      core::write_file(*emit, text);
+      out << "scenario spec written to " << *emit << "\n";
+    }
+    return 0;
+  }
+
+  const auto spec_path = cli.value("spec");
+  if (!spec_path || spec_path->empty()) {
+    throw std::out_of_range(
+        "--spec=scenario.json is required (or --emit-spec)");
+  }
+  engine::ScenarioSpec spec = engine::ScenarioSpec::load(*spec_path);
+  if (const auto trials = cli.value("trials"); trials) {
+    spec.trials = static_cast<std::size_t>(cli.get_int("trials", 200));
+  }
+  if (const auto seed = cli.value("seed"); seed) {
+    spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  }
+  std::unique_ptr<util::ThreadPool> pool;
+  if (const int threads = cli.get_int("threads", 0); threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(threads));
+  }
+
+  const auto outcome = engine::run_scenario(spec, pool.get());
+  const auto law = spec.distribution.make(spec.system);
+  Table table({"field", "value"});
+  table.add_row({"system", spec.system.name});
+  table.add_row({"technique", outcome.selected.technique});
+  table.add_row({"failure law", law->describe()});
+  table.add_row({"plan", outcome.selected.plan.to_string()});
+  table.add_row({"predicted time (min)",
+                 Table::num(outcome.selected.predicted_time, 2)});
+  table.add_row({"predicted efficiency",
+                 Table::pct(outcome.selected.predicted_efficiency)});
+  table.add_row({"trials", std::to_string(spec.trials)});
+  table.add_row({"sim efficiency mean",
+                 Table::pct(outcome.stats.efficiency.mean)});
+  table.add_row({"sim efficiency stddev",
+                 Table::pct(outcome.stats.efficiency.stddev)});
+  table.add_row({"prediction error",
+                 Table::pct(outcome.selected.predicted_efficiency -
+                                outcome.stats.efficiency.mean, 2)});
+  table.print(out);
+  if (const auto path = cli.value("out"); path && !path->empty()) {
+    core::write_file(*path,
+                     core::to_json(outcome.selected.plan).dump(2) + "\n");
+    out << "plan written to " << *path << "\n";
+  }
   return 0;
 }
 
@@ -318,7 +395,7 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
 
 std::string usage() {
   return "usage: mlck <systems|show|optimize|predict|simulate|compare|energy|"
-         "sensitivity|trace>"
+         "sensitivity|trace|scenario>"
          " [--system=<name|file.json>] [options]\n"
          "run `mlck <command>` with a missing argument for its specific"
          " requirements; see src/app/commands.h for the full synopsis\n";
@@ -348,6 +425,7 @@ int run_command(const std::vector<std::string>& args, std::ostream& out,
     else if (command == "energy") code = cmd_energy(cli, out);
     else if (command == "sensitivity") code = cmd_sensitivity(cli, out);
     else if (command == "trace") code = cmd_trace(cli, out);
+    else if (command == "scenario") code = cmd_scenario(cli, out);
     else {
       err << "unknown command: " << command << "\n" << usage();
       return 2;

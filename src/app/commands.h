@@ -22,6 +22,14 @@ namespace mlck::app {
 ///   mlck energy   --system=... [--checkpoint-power=0.7] [--restart-power=0.6]
 ///   mlck sensitivity --system=... [--technique=dauwe]
 ///   mlck trace    --system=... [--seed=4] [--max-events=40]
+///   mlck scenario --spec=scenario.json [--trials=...] [--seed=...]
+///                 [--threads=0] [--out=plan.json]
+///   mlck scenario --system=... --emit-spec[=scenario.json]
+///
+/// `scenario` drives one declarative engine::ScenarioSpec end to end:
+/// plan selection through the cached evaluation engine, then Monte-Carlo
+/// validation under the spec's failure distribution. `--emit-spec` writes
+/// a complete spec document for the given system to start from.
 ///
 /// `--system` accepts a Table I name (M, B, D1..D9) or a path to a JSON
 /// system document (see core/serialize.h for the schema).

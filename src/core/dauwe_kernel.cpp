@@ -1,0 +1,173 @@
+#include "core/dauwe_kernel.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "math/exponential.h"
+#include "math/retry.h"
+
+namespace mlck::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DauweKernel::DauweKernel(const systems::SystemConfig& system,
+                         const std::vector<int>& levels,
+                         const DauweOptions& options)
+    : base_time_(system.base_time), options_(options) {
+  const EffectiveSystem eff = make_effective(system, levels);
+  scratch_lambda_ = eff.scratch_lambda;
+  level_.reserve(eff.level.size());
+  double lambda_c = 0.0;
+  for (const EffectiveLevel& lvl : eff.level) {
+    lambda_c += lvl.lambda;
+    DauweLevelTerms terms;
+    terms.lambda = lvl.lambda;
+    terms.checkpoint_cost = lvl.checkpoint_cost;
+    terms.restart_cost = lvl.restart_cost;
+    terms.severity_share = lvl.severity_share;
+    terms.lambda_c = lambda_c;
+    terms.ck_retry = math::expected_retries(lvl.checkpoint_cost, lambda_c);
+    terms.ck_trunc = math::truncated_mean(lvl.checkpoint_cost, lambda_c);
+    terms.r_retry = math::expected_retries(lvl.restart_cost, lambda_c);
+    terms.r_trunc = math::truncated_mean(lvl.restart_cost, lambda_c);
+    level_.push_back(terms);
+  }
+}
+
+double DauweKernel::recursion(double tau0, std::span<const int> counts,
+                              DauweStageTerms* stages) const noexcept {
+  const int K = static_cast<int>(level_.size());
+  assert(K >= 1 && K <= kDauweMaxLevels);
+  assert(static_cast<int>(counts.size()) == K - 1);
+
+  double pattern = 1.0;  // prod (N_k + 1) over interior levels
+  for (const int n : counts) pattern *= static_cast<double>(n + 1);
+  const double top_periods = base_time_ / (tau0 * pattern);  // Eqn. 3
+  if (!(top_periods >= 1.0)) return kInf;  // paper's solution-space bound
+
+  std::array<double, kDauweMaxLevels> tau_hist{};     // tau_k entering stage k
+  std::array<double, kDauweMaxLevels> gamma_e_hist{}; // gamma_k * E(tau_k)
+  double tau = tau0;
+
+  for (int k = 0; k < K; ++k) {
+    const DauweLevelTerms& lvl = level_[static_cast<std::size_t>(k)];
+    const bool top = (k == K - 1);
+    // The top level runs N_L periods but needs one fewer checkpoint: the
+    // run ends after the last period instead of checkpointing it (the
+    // simulator skips that trailing checkpoint too; see DESIGN.md on the
+    // paper's Eqn. 7 convention).
+    const double m =
+        top ? top_periods : static_cast<double>(counts[static_cast<std::size_t>(k)] + 1);
+    const double c =
+        top ? top_periods - 1.0
+            : static_cast<double>(counts[static_cast<std::size_t>(k)]);
+
+    // Severity share used by Eqns. 10 and 11: the printed S_k (share of
+    // all failures) or, under the ablation flag, the share of failures a
+    // level-k event can actually see (renormalized over lambda_c of the
+    // *current* stage, which is why it cannot be folded into the kernel).
+    const auto share = [&](int j) noexcept {
+      const DauweLevelTerms& lj = level_[static_cast<std::size_t>(j)];
+      return options_.renormalize_severity_shares ? lj.lambda / lvl.lambda_c
+                                                  : lj.severity_share;
+    };
+
+    // Eqn. 5 / 6: severity-k failures during computation intervals.
+    const double gamma = math::expected_retries(tau, lvl.lambda);
+    const double e_tau = math::truncated_mean(tau, lvl.lambda);
+    tau_hist[static_cast<std::size_t>(k)] = tau;
+    gamma_e_hist[static_cast<std::size_t>(k)] = gamma * e_tau;
+    const double t_w_tau = gamma * e_tau * m;
+
+    // Eqn. 7: successful checkpoints.
+    const double t_ck_ok = c * lvl.checkpoint_cost;
+
+    // Eqns. 8-10: failed checkpoints and the work they strand.
+    const double alpha =
+        options_.checkpoint_failures ? lvl.ck_retry * c : 0.0;
+    const double t_ck_fail = alpha * lvl.ck_trunc;
+    double lost_intervals = 0.0;
+    for (int j = 0; j <= k; ++j) {
+      lost_intervals += (tau_hist[static_cast<std::size_t>(j)] +
+                         gamma_e_hist[static_cast<std::size_t>(j)]) *
+                        share(j);
+    }
+    const double t_w_ck = alpha * lost_intervals;
+
+    // Eqns. 11-14: restarts and failed restarts.
+    const double s_k = share(k);
+    const double beta = s_k * alpha + gamma * (s_k * alpha + m);
+    const double t_r_ok = beta * lvl.restart_cost;
+    const double zeta = options_.restart_failures ? lvl.r_retry * beta : 0.0;
+    const double t_r_fail = zeta * lvl.r_trunc;
+
+    if (stages != nullptr) {
+      stages[k] = DauweStageTerms{t_ck_ok, t_ck_fail,  t_r_ok, t_r_fail,
+                                  t_w_tau, t_w_ck, m};
+    }
+
+    // Eqn. 4.
+    tau = m * tau + t_ck_ok + t_ck_fail + t_r_ok + t_r_fail + t_w_tau + t_w_ck;
+    if (!std::isfinite(tau)) return kInf;
+  }
+  return tau;
+}
+
+double DauweKernel::expected_time(double tau0,
+                                  std::span<const int> counts) const noexcept {
+  const double before_scratch = recursion(tau0, counts, nullptr);
+  if (!std::isfinite(before_scratch)) return kInf;
+  if (scratch_lambda_ <= 0.0) return before_scratch;
+  const double reruns = math::expected_retries(before_scratch, scratch_lambda_);
+  return before_scratch +
+         reruns * math::truncated_mean(before_scratch, scratch_lambda_);
+}
+
+Prediction DauweKernel::predict(const CheckpointPlan& plan) const {
+  assert(plan.levels.size() == level_.size());
+  const int K = plan.used_levels();
+  std::array<DauweStageTerms, kDauweMaxLevels> stages{};
+  const double before_scratch =
+      recursion(plan.tau0, plan.counts, stages.data());
+
+  Prediction p;
+  if (!std::isfinite(before_scratch)) {
+    p.expected_time = kInf;
+    p.efficiency = 0.0;
+    return p;
+  }
+
+  // Stage-k terms occur once per tau_{k+1} period; multiply by how many
+  // such periods the run contains to total them.
+  double occurrences = 1.0;  // periods of tau_{K} (the whole run): one
+  ModelBreakdown& b = p.breakdown;
+  b.compute = base_time_;
+  for (int k = K - 1; k >= 0; --k) {
+    const DauweStageTerms& t = stages[static_cast<std::size_t>(k)];
+    b.checkpoint_ok += t.checkpoint_ok * occurrences;
+    b.checkpoint_failed += t.checkpoint_failed * occurrences;
+    b.restart_ok += t.restart_ok * occurrences;
+    b.restart_failed += t.restart_failed * occurrences;
+    b.rework_compute += t.rework_compute * occurrences;
+    b.rework_checkpoint += t.rework_checkpoint * occurrences;
+    occurrences *= t.multiplicity;
+  }
+
+  double total = before_scratch;
+  if (scratch_lambda_ > 0.0) {
+    const double reruns =
+        math::expected_retries(before_scratch, scratch_lambda_);
+    b.scratch_rework =
+        reruns * math::truncated_mean(before_scratch, scratch_lambda_);
+    total += b.scratch_rework;
+  }
+  p.expected_time = total;
+  p.efficiency = base_time_ / total;
+  return p;
+}
+
+}  // namespace mlck::core

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/dauwe_model.h"
+#include "core/effective.h"
+#include "core/model.h"
+#include "core/plan.h"
+#include "systems/system_config.h"
+
+namespace mlck::core {
+
+/// Hard cap on checkpoint hierarchy depth accepted by the recursion; keeps
+/// the per-evaluation stage scratch on the stack.
+inline constexpr int kDauweMaxLevels = 16;
+
+/// Everything the Dauwe recursion produces for one used level, per
+/// enclosing tau_{k+1} period. Exposed so predict() can total the
+/// per-event breakdown.
+struct DauweStageTerms {
+  double checkpoint_ok = 0.0;
+  double checkpoint_failed = 0.0;
+  double restart_ok = 0.0;
+  double restart_failed = 0.0;
+  double rework_compute = 0.0;
+  double rework_checkpoint = 0.0;
+  double multiplicity = 0.0;  ///< m_k: tau_k intervals per tau_{k+1} period
+};
+
+/// The tau-independent quantities of one used level: the effective-rate
+/// re-binning of core/effective plus the checkpoint/restart retry terms of
+/// Eqns. 8/10/12/14, which depend only on (system, level subset) — never
+/// on tau0 or the pattern counts.
+struct DauweLevelTerms {
+  double lambda = 0.0;          ///< effective severity rate of this level
+  double checkpoint_cost = 0.0;
+  double restart_cost = 0.0;
+  double severity_share = 0.0;  ///< S_k = lambda / full-system lambda
+  double lambda_c = 0.0;        ///< cumulative rate through this level
+  double ck_retry = 0.0;        ///< expected_retries(delta_k, lambda_c)
+  double ck_trunc = 0.0;        ///< truncated_mean(delta_k, lambda_c)
+  double r_retry = 0.0;         ///< expected_retries(R_k, lambda_c)
+  double r_trunc = 0.0;         ///< truncated_mean(R_k, lambda_c)
+};
+
+/// The hot core of the paper's model, split into a build step and an
+/// evaluation step. Building precomputes every tau-independent per-level
+/// quantity for one (system, level-subset) pair; evaluating runs the
+/// Eqns. 4-14 recursion over those terms for a concrete (tau0, counts).
+///
+/// The factoring is exact: expected_retries(t, rate, n) is defined as
+/// expected_retries(t, rate) * n, so caching the unit term and multiplying
+/// by the per-plan count reproduces DauweModel's arithmetic bit for bit.
+/// The optimizer's coarse sweep and refinement evaluate ~10^5..10^6 plans
+/// per level subset against one kernel, skipping the per-plan effective-
+/// system rebuild and two thirds of the expm1/exp calls.
+class DauweKernel {
+ public:
+  DauweKernel() = default;
+
+  /// Precomputes the invariants for plans over @p levels (ascending,
+  /// unique, valid system level indices, size 1..kDauweMaxLevels).
+  DauweKernel(const systems::SystemConfig& system,
+              const std::vector<int>& levels, const DauweOptions& options);
+
+  /// Expected execution time for (tau0, counts) over the kernel's level
+  /// subset, including the restart-from-scratch wrap; +inf for infeasible
+  /// plans. counts.size() must equal levels().size() - 1.
+  double expected_time(double tau0, std::span<const int> counts) const noexcept;
+
+  /// Full forecast with the per-event breakdown; bit-identical to
+  /// DauweModel::predict on the same plan. @p plan.levels must equal the
+  /// kernel's subset (checked by assert only; callers route by subset).
+  Prediction predict(const CheckpointPlan& plan) const;
+
+  /// The recursion before the scratch-severity wrap; +inf when infeasible.
+  /// When @p stages is non-null it receives levels().size() entries.
+  double recursion(double tau0, std::span<const int> counts,
+                   DauweStageTerms* stages) const noexcept;
+
+  const std::vector<DauweLevelTerms>& levels() const noexcept {
+    return level_;
+  }
+  double scratch_lambda() const noexcept { return scratch_lambda_; }
+  double base_time() const noexcept { return base_time_; }
+  const DauweOptions& options() const noexcept { return options_; }
+
+ private:
+  std::vector<DauweLevelTerms> level_;
+  double scratch_lambda_ = 0.0;
+  double base_time_ = 0.0;
+  DauweOptions options_;
+};
+
+}  // namespace mlck::core

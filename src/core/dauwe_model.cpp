@@ -1,189 +1,27 @@
 #include "core/dauwe_model.h"
 
-#include <array>
-#include <cassert>
-#include <cmath>
-#include <limits>
-#include <span>
-
-#include "math/exponential.h"
-#include "math/retry.h"
+#include "core/dauwe_kernel.h"
 
 namespace mlck::core {
 
-namespace {
-
-constexpr int kMaxLevels = 16;
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Everything the recursion produces for one used level, per enclosing
-/// tau_{k+1} period.
-struct StageTerms {
-  double checkpoint_ok = 0.0;
-  double checkpoint_failed = 0.0;
-  double restart_ok = 0.0;
-  double restart_failed = 0.0;
-  double rework_compute = 0.0;
-  double rework_checkpoint = 0.0;
-  double multiplicity = 0.0;  ///< m_k: tau_k intervals per tau_{k+1} period
-
-  double sum() const noexcept {
-    return checkpoint_ok + checkpoint_failed + restart_ok + restart_failed +
-           rework_compute + rework_checkpoint;
-  }
-};
-
-/// Core of the hierarchical recursion (Eqns. 4-14). Returns the expected
-/// time of the run *before* the scratch-severity wrap, or +inf for
-/// infeasible plans. When @p stages is non-null, per-stage terms are
-/// recorded for the breakdown.
-double run_recursion(const EffectiveSystem& eff, double base_time,
-                     double tau0, std::span<const int> counts,
-                     const DauweOptions& opts, StageTerms* stages) noexcept {
-  const int K = static_cast<int>(eff.level.size());
-  assert(K >= 1 && K <= kMaxLevels);
-  assert(static_cast<int>(counts.size()) == K - 1);
-
-  double pattern = 1.0;  // prod (N_k + 1) over interior levels
-  for (const int n : counts) pattern *= static_cast<double>(n + 1);
-  const double top_periods = base_time / (tau0 * pattern);  // Eqn. 3
-  if (!(top_periods >= 1.0)) return kInf;  // paper's solution-space bound
-
-  std::array<double, kMaxLevels> tau_hist{};     // tau_k entering stage k
-  std::array<double, kMaxLevels> gamma_e_hist{}; // gamma_k * E(tau_k)
-  double tau = tau0;
-  double lambda_c = 0.0;
-
-  for (int k = 0; k < K; ++k) {
-    const EffectiveLevel& lvl = eff.level[static_cast<std::size_t>(k)];
-    lambda_c += lvl.lambda;
-    const bool top = (k == K - 1);
-    // The top level runs N_L periods but needs one fewer checkpoint: the
-    // run ends after the last period instead of checkpointing it (the
-    // simulator skips that trailing checkpoint too; see DESIGN.md on the
-    // paper's Eqn. 7 convention).
-    const double m =
-        top ? top_periods : static_cast<double>(counts[static_cast<std::size_t>(k)] + 1);
-    const double c =
-        top ? top_periods - 1.0
-            : static_cast<double>(counts[static_cast<std::size_t>(k)]);
-
-    // Severity share used by Eqns. 10 and 11: the printed S_k (share of
-    // all failures) or, under the ablation flag, the share of failures a
-    // level-k event can actually see.
-    const auto share = [&](int j) noexcept {
-      const EffectiveLevel& lj = eff.level[static_cast<std::size_t>(j)];
-      return opts.renormalize_severity_shares ? lj.lambda / lambda_c
-                                              : lj.severity_share;
-    };
-
-    // Eqn. 5 / 6: severity-k failures during computation intervals.
-    const double gamma = math::expected_retries(tau, lvl.lambda);
-    const double e_tau = math::truncated_mean(tau, lvl.lambda);
-    tau_hist[static_cast<std::size_t>(k)] = tau;
-    gamma_e_hist[static_cast<std::size_t>(k)] = gamma * e_tau;
-    const double t_w_tau = gamma * e_tau * m;
-
-    // Eqn. 7: successful checkpoints.
-    const double t_ck_ok = c * lvl.checkpoint_cost;
-
-    // Eqns. 8-10: failed checkpoints and the work they strand.
-    const double alpha =
-        opts.checkpoint_failures
-            ? math::expected_retries(lvl.checkpoint_cost, lambda_c, c)
-            : 0.0;
-    const double t_ck_fail =
-        alpha * math::truncated_mean(lvl.checkpoint_cost, lambda_c);
-    double lost_intervals = 0.0;
-    for (int j = 0; j <= k; ++j) {
-      lost_intervals += (tau_hist[static_cast<std::size_t>(j)] +
-                         gamma_e_hist[static_cast<std::size_t>(j)]) *
-                        share(j);
-    }
-    const double t_w_ck = alpha * lost_intervals;
-
-    // Eqns. 11-14: restarts and failed restarts.
-    const double s_k = share(k);
-    const double beta = s_k * alpha + gamma * (s_k * alpha + m);
-    const double t_r_ok = beta * lvl.restart_cost;
-    const double zeta =
-        opts.restart_failures
-            ? math::expected_retries(lvl.restart_cost, lambda_c, beta)
-            : 0.0;
-    const double t_r_fail =
-        zeta * math::truncated_mean(lvl.restart_cost, lambda_c);
-
-    if (stages != nullptr) {
-      stages[k] = StageTerms{t_ck_ok, t_ck_fail,  t_r_ok, t_r_fail,
-                             t_w_tau, t_w_ck, m};
-    }
-
-    // Eqn. 4.
-    tau = m * tau + t_ck_ok + t_ck_fail + t_r_ok + t_r_fail + t_w_tau + t_w_ck;
-    if (!std::isfinite(tau)) return kInf;
-  }
-  return tau;
-}
-
-}  // namespace
+// The model is a thin facade over DauweKernel: each call builds the
+// tau-independent per-level terms for the plan's level subset and runs the
+// Eqns. 4-14 recursion once. Sweep-heavy callers (the optimizer, the
+// engine layer) build the kernel once per (system, level-subset) instead
+// and evaluate it for every candidate plan; both paths execute the same
+// recursion and agree bit for bit.
 
 double DauweModel::expected_time(const systems::SystemConfig& system,
                                  const CheckpointPlan& plan) const {
-  const EffectiveSystem eff = make_effective(system, plan);
-  const double before_scratch = run_recursion(
-      eff, system.base_time, plan.tau0, plan.counts, options_, nullptr);
-  if (!std::isfinite(before_scratch)) return kInf;
-  if (eff.scratch_lambda <= 0.0) return before_scratch;
-  const double reruns =
-      math::expected_retries(before_scratch, eff.scratch_lambda);
-  return before_scratch +
-         reruns * math::truncated_mean(before_scratch, eff.scratch_lambda);
+  const DauweKernel kernel(system, plan.levels, options_);
+  return kernel.expected_time(plan.tau0, plan.counts);
 }
 
 Prediction DauweModel::predict(const systems::SystemConfig& system,
                                const CheckpointPlan& plan) const {
   plan.validate(system);
-  const EffectiveSystem eff = make_effective(system, plan);
-  const int K = plan.used_levels();
-  std::array<StageTerms, kMaxLevels> stages{};
-  const double before_scratch =
-      run_recursion(eff, system.base_time, plan.tau0, plan.counts, options_,
-                    stages.data());
-
-  Prediction p;
-  if (!std::isfinite(before_scratch)) {
-    p.expected_time = kInf;
-    p.efficiency = 0.0;
-    return p;
-  }
-
-  // Stage-k terms occur once per tau_{k+1} period; multiply by how many
-  // such periods the run contains to total them.
-  double occurrences = 1.0;  // periods of tau_{K} (the whole run): one
-  ModelBreakdown& b = p.breakdown;
-  b.compute = system.base_time;
-  for (int k = K - 1; k >= 0; --k) {
-    const StageTerms& t = stages[static_cast<std::size_t>(k)];
-    b.checkpoint_ok += t.checkpoint_ok * occurrences;
-    b.checkpoint_failed += t.checkpoint_failed * occurrences;
-    b.restart_ok += t.restart_ok * occurrences;
-    b.restart_failed += t.restart_failed * occurrences;
-    b.rework_compute += t.rework_compute * occurrences;
-    b.rework_checkpoint += t.rework_checkpoint * occurrences;
-    occurrences *= t.multiplicity;
-  }
-
-  double total = before_scratch;
-  if (eff.scratch_lambda > 0.0) {
-    const double reruns =
-        math::expected_retries(before_scratch, eff.scratch_lambda);
-    b.scratch_rework =
-        reruns * math::truncated_mean(before_scratch, eff.scratch_lambda);
-    total += b.scratch_rework;
-  }
-  p.expected_time = total;
-  p.efficiency = system.base_time / total;
-  return p;
+  const DauweKernel kernel(system, plan.levels, options_);
+  return kernel.predict(plan);
 }
 
 }  // namespace mlck::core

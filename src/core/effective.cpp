@@ -4,11 +4,16 @@ namespace mlck::core {
 
 EffectiveSystem make_effective(const systems::SystemConfig& system,
                                const CheckpointPlan& plan) {
+  return make_effective(system, plan.levels);
+}
+
+EffectiveSystem make_effective(const systems::SystemConfig& system,
+                               const std::vector<int>& levels) {
   EffectiveSystem eff;
   eff.lambda_total = system.lambda_total();
-  eff.level.reserve(plan.levels.size());
+  eff.level.reserve(levels.size());
   int severity = 0;  // next system severity to assign
-  for (const int used : plan.levels) {
+  for (const int used : levels) {
     EffectiveLevel lvl;
     lvl.checkpoint_cost =
         system.checkpoint_cost[static_cast<std::size_t>(used)];

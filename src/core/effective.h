@@ -35,4 +35,10 @@ struct EffectiveSystem {
 EffectiveSystem make_effective(const systems::SystemConfig& system,
                                const CheckpointPlan& plan);
 
+/// Same reduction from the used-level subset alone — the effective
+/// hierarchy depends only on (system, levels), never on tau0 or the
+/// pattern counts, which is what makes it cacheable across sweeps.
+EffectiveSystem make_effective(const systems::SystemConfig& system,
+                               const std::vector<int>& levels);
+
 }  // namespace mlck::core

@@ -34,15 +34,17 @@ std::vector<double> log_grid(double lo, double hi, int points) {
 
 /// Enumerates ladder^(K-1) count combinations for one tau0, pruning
 /// combinations whose pattern already exceeds the feasibility bound
-/// tau0 * prod(N+1) <= T_B.
-void sweep_counts(const ExecutionTimeModel& model,
-                  const systems::SystemConfig& system, CheckpointPlan& plan,
-                  const std::vector<int>& ladder, std::size_t dim,
-                  double pattern_so_far, Candidate& best,
+/// tau0 * prod(N+1) <= T_B. Templated on the cost callable so the direct
+/// model path pays no extra indirection and the cached-evaluator path
+/// shares the identical enumeration order.
+template <typename CostFn>
+void sweep_counts(const CostFn& cost, const systems::SystemConfig& system,
+                  CheckpointPlan& plan, const std::vector<int>& ladder,
+                  std::size_t dim, double pattern_so_far, Candidate& best,
                   std::size_t& evals) {
   if (dim == plan.counts.size()) {
     ++evals;
-    const double t = model.expected_time(system, plan);
+    const double t = cost(plan);
     if (t < best.time) {
       best.time = t;
       best.tau0 = plan.tau0;
@@ -54,26 +56,17 @@ void sweep_counts(const ExecutionTimeModel& model,
     const double pattern = pattern_so_far * (n + 1);
     if (plan.tau0 * pattern > system.base_time) break;  // ladder ascends
     plan.counts[dim] = n;
-    sweep_counts(model, system, plan, ladder, dim + 1, pattern, best, evals);
+    sweep_counts(cost, system, plan, ladder, dim + 1, pattern, best, evals);
   }
 }
 
-}  // namespace
-
-std::vector<int> count_ladder(int max_count) {
-  std::vector<int> out;
-  int v = 0;
-  while (v <= max_count) {
-    out.push_back(v);
-    v = std::max(v + 1, (v * 5) / 4);
-  }
-  return out;
-}
-
-OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
-                                      const systems::SystemConfig& system,
-                                      const OptimizerOptions& options,
-                                      util::ThreadPool* pool) {
+/// Shared search skeleton. @p make_cost is invoked once per level subset
+/// and must return a thread-safe cost callable for plans over that subset.
+template <typename MakeCost>
+OptimizationResult optimize_impl(const MakeCost& make_cost,
+                                 const systems::SystemConfig& system,
+                                 const OptimizerOptions& options,
+                                 util::ThreadPool* pool) {
   system.validate();
 
   // Candidate level subsets.
@@ -101,6 +94,7 @@ OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
 
   for (const auto& levels : subsets) {
     const std::size_t dims = levels.size() - 1;
+    const auto cost = make_cost(levels);
 
     // Coarse pass: each tau0 slice finds its own best, written to a
     // private slot; the reduction below is serial and deterministic.
@@ -111,7 +105,7 @@ OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
       plan.tau0 = taus[ti];
       plan.levels = levels;
       plan.counts.assign(dims, 0);
-      sweep_counts(model, system, plan, ladder, 0, 1.0, slice[ti],
+      sweep_counts(cost, system, plan, ladder, 0, 1.0, slice[ti],
                    slice_evals[ti]);
     });
 
@@ -122,7 +116,8 @@ OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
     for (const auto e : slice_evals) total_evals += e;
     if (!std::isfinite(best.time)) continue;
 
-    // Refinement: coordinate descent over tau0 and each count.
+    // Refinement: coordinate descent over tau0 and each count, evaluated
+    // against the same per-subset cost function as the coarse pass.
     static constexpr double kTauFactors[] = {0.80, 0.90, 0.95, 0.98,
                                              1.02, 1.05, 1.10, 1.25};
     static constexpr int kCountSteps[] = {-4, -2, -1, 1, 2, 4};
@@ -136,7 +131,7 @@ OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
         plan.tau0 = tau;
         plan.counts = best.counts;
         ++total_evals;
-        const double t = model.expected_time(system, plan);
+        const double t = cost(plan);
         if (t < improved.time) {
           improved = Candidate{t, tau, best.counts};
         }
@@ -149,7 +144,7 @@ OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
           plan.counts = best.counts;
           plan.counts[d] = n;
           ++total_evals;
-          const double t = model.expected_time(system, plan);
+          const double t = cost(plan);
           if (t < improved.time) {
             improved = Candidate{t, best.tau0, plan.counts};
           }
@@ -178,6 +173,44 @@ OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
   result.efficiency = system.base_time / global.time;
   result.evaluations = total_evals;
   return result;
+}
+
+/// Direct-model cost: no per-subset state, one virtual call per plan.
+struct ModelCost {
+  const ExecutionTimeModel& model;
+  const systems::SystemConfig& system;
+  double operator()(const CheckpointPlan& plan) const {
+    return model.expected_time(system, plan);
+  }
+};
+
+}  // namespace
+
+std::vector<int> count_ladder(int max_count) {
+  std::vector<int> out;
+  int v = 0;
+  while (v <= max_count) {
+    out.push_back(v);
+    v = std::max(v + 1, (v * 5) / 4);
+  }
+  return out;
+}
+
+OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
+                                      const systems::SystemConfig& system,
+                                      const OptimizerOptions& options,
+                                      util::ThreadPool* pool) {
+  const auto make_cost = [&](const std::vector<int>&) {
+    return ModelCost{model, system};
+  };
+  return optimize_impl(make_cost, system, options, pool);
+}
+
+OptimizationResult optimize_intervals_with(
+    const SubsetEvaluatorFactory& factory,
+    const systems::SystemConfig& system, const OptimizerOptions& options,
+    util::ThreadPool* pool) {
+  return optimize_impl(factory, system, options, pool);
 }
 
 }  // namespace mlck::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "core/model.h"
@@ -53,6 +54,29 @@ OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
                                       const systems::SystemConfig& system,
                                       const OptimizerOptions& options = {},
                                       util::ThreadPool* pool = nullptr);
+
+/// Expected-time cost of one candidate plan. The plan's level subset is
+/// fixed by the factory call that produced the function; tau0 and counts
+/// vary per call. Must be thread-safe: the coarse sweep invokes it
+/// concurrently from every tau0 slice.
+using PlanCostFn = std::function<double(const CheckpointPlan& plan)>;
+
+/// Called once per candidate level subset before its sweep begins; the
+/// returned cost function is then used for every coarse-sweep and
+/// refinement evaluation over that subset. This is the hook that lets the
+/// engine layer precompute per-(system, level-subset) invariants once and
+/// reuse them across the whole search instead of rebuilding them per plan.
+using SubsetEvaluatorFactory =
+    std::function<PlanCostFn(const std::vector<int>& levels)>;
+
+/// optimize_intervals with per-subset evaluators. Sweep order, pruning,
+/// refinement, and tie-breaking are identical to the model overload, so
+/// two factories whose cost functions agree bit-for-bit select identical
+/// plans with identical evaluation counts.
+OptimizationResult optimize_intervals_with(
+    const SubsetEvaluatorFactory& factory,
+    const systems::SystemConfig& system, const OptimizerOptions& options = {},
+    util::ThreadPool* pool = nullptr);
 
 /// The geometric candidate ladder for pattern counts used by the coarse
 /// pass: 0,1,2,... then ~1.25x steps up to @p max_count. Exposed for

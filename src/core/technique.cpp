@@ -1,5 +1,9 @@
 #include "core/technique.h"
 
+#include <memory>
+
+#include "core/dauwe_kernel.h"
+
 namespace mlck::core {
 
 DauweTechnique::DauweTechnique(DauweOptions model_options,
@@ -8,8 +12,19 @@ DauweTechnique::DauweTechnique(DauweOptions model_options,
 
 TechniqueResult DauweTechnique::do_select_plan(
     const systems::SystemConfig& system, util::ThreadPool* pool) const {
+  // Precompute the tau-independent per-level terms once per level subset;
+  // every coarse-sweep and refinement evaluation over the subset then
+  // reuses them. Bit-identical to sweeping DauweModel directly (the
+  // kernel runs the same recursion), just without the per-plan rebuild.
+  const auto factory = [&](const std::vector<int>& levels) -> PlanCostFn {
+    auto kernel =
+        std::make_shared<const DauweKernel>(system, levels, model_.options());
+    return [kernel](const CheckpointPlan& plan) {
+      return kernel->expected_time(plan.tau0, plan.counts);
+    };
+  };
   const OptimizationResult best =
-      optimize_intervals(model_, system, optimizer_options_, pool);
+      optimize_intervals_with(factory, system, optimizer_options_, pool);
   TechniqueResult result;
   result.technique = name();
   result.plan = best.plan;

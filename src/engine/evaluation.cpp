@@ -1,0 +1,68 @@
+#include "engine/evaluation.h"
+
+#include "util/parallel.h"
+
+namespace mlck::engine {
+
+EvaluationEngine::EvaluationEngine(systems::SystemConfig system,
+                                   core::DauweOptions options)
+    : system_(std::move(system)), options_(options) {
+  system_.validate();
+}
+
+const EvaluationContext& EvaluationEngine::context(
+    const std::vector<int>& levels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = contexts_.find(levels);
+  if (it == contexts_.end()) {
+    it = contexts_
+             .emplace(levels, std::make_unique<EvaluationContext>(
+                                  system_, levels, options_))
+             .first;
+  }
+  return *it->second;
+}
+
+double EvaluationEngine::expected_time(const core::CheckpointPlan& plan) const {
+  return context(plan.levels).kernel.expected_time(plan.tau0, plan.counts);
+}
+
+core::Prediction EvaluationEngine::predict(
+    const core::CheckpointPlan& plan) const {
+  plan.validate(system_);
+  return context(plan.levels).kernel.predict(plan);
+}
+
+core::OptimizationResult EvaluationEngine::optimize(
+    const core::OptimizerOptions& options, util::ThreadPool* pool) const {
+  const auto factory = [this](const std::vector<int>& levels)
+      -> core::PlanCostFn {
+    const EvaluationContext& ctx = context(levels);
+    return [&ctx](const core::CheckpointPlan& plan) {
+      return ctx.kernel.expected_time(plan.tau0, plan.counts);
+    };
+  };
+  return core::optimize_intervals_with(factory, system_, options, pool);
+}
+
+std::vector<double> EvaluationEngine::expected_times(
+    std::span<const core::CheckpointPlan> plans, util::ThreadPool* pool) const {
+  // Materialize every needed context serially first so the parallel phase
+  // never touches the cache mutex.
+  std::vector<const EvaluationContext*> ctx(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    ctx[i] = &context(plans[i].levels);
+  }
+  std::vector<double> out(plans.size());
+  util::parallel_for(pool, plans.size(), [&](std::size_t i) {
+    out[i] = ctx[i]->kernel.expected_time(plans[i].tau0, plans[i].counts);
+  });
+  return out;
+}
+
+std::size_t EvaluationEngine::cached_contexts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return contexts_.size();
+}
+
+}  // namespace mlck::engine

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/dauwe_kernel.h"
+#include "core/optimizer.h"
+#include "systems/system_config.h"
+#include "util/thread_pool.h"
+
+namespace mlck::engine {
+
+/// The cached tau-independent invariants for one (system, level-subset)
+/// pair: the effective per-level failure rates, severity shares, and
+/// checkpoint/restart retry terms that every model evaluation over the
+/// subset would otherwise re-derive. Immutable after construction, so it
+/// is shared freely across sweep threads.
+struct EvaluationContext {
+  std::vector<int> levels;    ///< the subset this context covers
+  core::DauweKernel kernel;   ///< precomputed terms + recursion
+
+  EvaluationContext(const systems::SystemConfig& system,
+                    std::vector<int> subset, const core::DauweOptions& options)
+      : levels(std::move(subset)), kernel(system, levels, options) {}
+};
+
+/// Cached evaluation front-end for one (system, model-options) pair — the
+/// hot path of every optimizer sweep, figure, and ablation. Contexts are
+/// built lazily per level subset and reused for the lifetime of the
+/// engine, so repeated optimize()/expected_time() calls over the same
+/// subsets skip all tau-independent work.
+///
+/// Every result is bit-identical to the direct DauweModel path: the
+/// context precomputation is an exact factoring of the same arithmetic
+/// (see core::DauweKernel), and optimize() drives the same search code as
+/// core::optimize_intervals.
+///
+/// Thread-safety: all const members may be called concurrently; context
+/// creation is serialized internally and contexts are immutable.
+class EvaluationEngine {
+ public:
+  explicit EvaluationEngine(systems::SystemConfig system,
+                            core::DauweOptions options = {});
+
+  const systems::SystemConfig& system() const noexcept { return system_; }
+  const core::DauweOptions& options() const noexcept { return options_; }
+
+  /// The cached context for @p levels, building it on first use.
+  const EvaluationContext& context(const std::vector<int>& levels) const;
+
+  /// Expected execution time of @p plan; bit-identical to
+  /// DauweModel(options).expected_time(system, plan).
+  double expected_time(const core::CheckpointPlan& plan) const;
+
+  /// Full forecast with breakdown; bit-identical to DauweModel::predict.
+  core::Prediction predict(const core::CheckpointPlan& plan) const;
+
+  /// Interval search over the cached contexts: same sweep, pruning, and
+  /// refinement as core::optimize_intervals on a DauweModel — identical
+  /// plans, expected times, and evaluation counts — but every evaluation
+  /// reuses the per-subset context.
+  core::OptimizationResult optimize(const core::OptimizerOptions& options = {},
+                                    util::ThreadPool* pool = nullptr) const;
+
+  /// Batched sweep: expected time of every plan, evaluated over the
+  /// cached contexts in deterministic contiguous chunks on @p pool.
+  /// Results are independent of thread count and identical to calling
+  /// expected_time per plan.
+  std::vector<double> expected_times(std::span<const core::CheckpointPlan> plans,
+                                     util::ThreadPool* pool = nullptr) const;
+
+  /// Number of level subsets cached so far (observability for tests and
+  /// benchmarks).
+  std::size_t cached_contexts() const;
+
+ private:
+  systems::SystemConfig system_;
+  core::DauweOptions options_;
+  mutable std::mutex mutex_;
+  /// unique_ptr values keep context addresses stable across rehash-free
+  /// map growth, so references handed out stay valid for the engine's
+  /// lifetime.
+  mutable std::map<std::vector<int>, std::unique_ptr<EvaluationContext>>
+      contexts_;
+};
+
+}  // namespace mlck::engine

@@ -1,0 +1,247 @@
+#include "engine/scenario.h"
+
+#include <stdexcept>
+
+#include "core/serialize.h"
+#include "models/registry.h"
+
+namespace mlck::engine {
+
+using util::Json;
+
+namespace {
+
+Json::Array levels_to_json(const std::vector<int>& levels) {
+  Json::Array out;
+  out.reserve(levels.size());
+  for (const int v : levels) out.emplace_back(v);
+  return out;
+}
+
+std::vector<int> levels_from_json(const Json& doc) {
+  std::vector<int> out;
+  for (const auto& item : doc.as_array()) {
+    out.push_back(static_cast<int>(item.as_number()));
+  }
+  return out;
+}
+
+const char* kind_name(DistributionSpec::Kind kind) {
+  switch (kind) {
+    case DistributionSpec::Kind::kExponential: return "exponential";
+    case DistributionSpec::Kind::kWeibull: return "weibull";
+    case DistributionSpec::Kind::kLogNormal: return "lognormal";
+  }
+  return "exponential";
+}
+
+DistributionSpec::Kind kind_from_name(const std::string& name) {
+  if (name == "exponential") return DistributionSpec::Kind::kExponential;
+  if (name == "weibull") return DistributionSpec::Kind::kWeibull;
+  if (name == "lognormal") return DistributionSpec::Kind::kLogNormal;
+  throw std::invalid_argument("unknown distribution kind: " + name +
+                              " (use exponential|weibull|lognormal)");
+}
+
+Json model_options_to_json(const core::DauweOptions& opts) {
+  Json::Object doc;
+  doc["checkpoint_failures"] = Json(opts.checkpoint_failures);
+  doc["restart_failures"] = Json(opts.restart_failures);
+  doc["renormalize_severity_shares"] =
+      Json(opts.renormalize_severity_shares);
+  return Json(std::move(doc));
+}
+
+core::DauweOptions model_options_from_json(const Json& doc) {
+  core::DauweOptions opts;
+  if (const Json* v = doc.find("checkpoint_failures"))
+    opts.checkpoint_failures = v->as_bool();
+  if (const Json* v = doc.find("restart_failures"))
+    opts.restart_failures = v->as_bool();
+  if (const Json* v = doc.find("renormalize_severity_shares"))
+    opts.renormalize_severity_shares = v->as_bool();
+  return opts;
+}
+
+Json optimizer_to_json(const core::OptimizerOptions& opts) {
+  Json::Object doc;
+  doc["coarse_tau_points"] = Json(opts.coarse_tau_points);
+  doc["tau_min"] = Json(opts.tau_min);
+  doc["max_count"] = Json(opts.max_count);
+  doc["refine_rounds"] = Json(opts.refine_rounds);
+  doc["allow_suffix_skipping"] = Json(opts.allow_suffix_skipping);
+  if (!opts.restrict_levels.empty()) {
+    doc["restrict_levels"] = Json(levels_to_json(opts.restrict_levels));
+  }
+  return Json(std::move(doc));
+}
+
+core::OptimizerOptions optimizer_from_json(const Json& doc) {
+  core::OptimizerOptions opts;
+  if (const Json* v = doc.find("coarse_tau_points"))
+    opts.coarse_tau_points = static_cast<int>(v->as_number());
+  if (const Json* v = doc.find("tau_min")) opts.tau_min = v->as_number();
+  if (const Json* v = doc.find("max_count"))
+    opts.max_count = static_cast<int>(v->as_number());
+  if (const Json* v = doc.find("refine_rounds"))
+    opts.refine_rounds = static_cast<int>(v->as_number());
+  if (const Json* v = doc.find("allow_suffix_skipping"))
+    opts.allow_suffix_skipping = v->as_bool();
+  if (const Json* v = doc.find("restrict_levels"))
+    opts.restrict_levels = levels_from_json(*v);
+  return opts;
+}
+
+Json sim_to_json(const sim::SimOptions& opts) {
+  Json::Object doc;
+  doc["restart_policy"] =
+      Json(opts.restart_policy == sim::RestartPolicy::kMoodyEscalate
+               ? "escalate"
+               : "retry");
+  doc["take_final_checkpoint"] = Json(opts.take_final_checkpoint);
+  return Json(std::move(doc));
+}
+
+sim::SimOptions sim_from_json(const Json& doc) {
+  sim::SimOptions opts;
+  if (const Json* v = doc.find("restart_policy")) {
+    const std::string& policy = v->as_string();
+    if (policy == "escalate") {
+      opts.restart_policy = sim::RestartPolicy::kMoodyEscalate;
+    } else if (policy != "retry") {
+      throw std::invalid_argument("unknown restart_policy: " + policy +
+                                  " (use retry|escalate)");
+    }
+  }
+  if (const Json* v = doc.find("take_final_checkpoint"))
+    opts.take_final_checkpoint = v->as_bool();
+  return opts;
+}
+
+}  // namespace
+
+std::unique_ptr<math::FailureDistribution> DistributionSpec::make(
+    const systems::SystemConfig& system) const {
+  const double resolved_mean = mean > 0.0 ? mean : system.mtbf;
+  switch (kind) {
+    case Kind::kExponential:
+      return std::make_unique<math::Exponential>(1.0 / resolved_mean);
+    case Kind::kWeibull:
+      return std::make_unique<math::Weibull>(
+          math::Weibull::with_mean(resolved_mean, shape));
+    case Kind::kLogNormal:
+      return std::make_unique<math::LogNormal>(
+          math::LogNormal::with_mean(resolved_mean, sigma));
+  }
+  throw std::logic_error("unreachable distribution kind");
+}
+
+DistributionSpec DistributionSpec::from_json(const Json& doc) {
+  DistributionSpec spec;
+  if (const Json* v = doc.find("kind")) spec.kind = kind_from_name(v->as_string());
+  if (const Json* v = doc.find("shape")) spec.shape = v->as_number();
+  if (const Json* v = doc.find("sigma")) spec.sigma = v->as_number();
+  if (const Json* v = doc.find("mean")) spec.mean = v->as_number();
+  return spec;
+}
+
+Json DistributionSpec::to_json() const {
+  Json::Object doc;
+  doc["kind"] = Json(kind_name(kind));
+  if (kind == Kind::kWeibull) doc["shape"] = Json(shape);
+  if (kind == Kind::kLogNormal) doc["sigma"] = Json(sigma);
+  if (mean > 0.0) doc["mean"] = Json(mean);
+  return Json(std::move(doc));
+}
+
+void ScenarioSpec::validate() const {
+  if (system.levels() == 0) {
+    throw std::invalid_argument("ScenarioSpec: no system configured");
+  }
+  system.validate();
+  if (trials == 0) {
+    throw std::invalid_argument("ScenarioSpec: trials must be >= 1");
+  }
+}
+
+ScenarioSpec ScenarioSpec::from_json(const Json& doc) {
+  ScenarioSpec spec;
+  if (const Json* sys = doc.find("system")) {
+    if (sys->is_string()) {
+      spec.system_ref = sys->as_string();
+      spec.system = core::load_system(spec.system_ref);
+    } else {
+      spec.system = core::system_from_json(*sys);
+    }
+  }
+  if (const Json* v = doc.find("model")) spec.model = v->as_string();
+  if (const Json* v = doc.find("model_options"))
+    spec.model_options = model_options_from_json(*v);
+  if (const Json* v = doc.find("distribution"))
+    spec.distribution = DistributionSpec::from_json(*v);
+  if (const Json* v = doc.find("optimizer"))
+    spec.optimizer = optimizer_from_json(*v);
+  if (const Json* v = doc.find("trials"))
+    spec.trials = static_cast<std::size_t>(v->as_number());
+  if (const Json* v = doc.find("seed"))
+    spec.seed = static_cast<std::uint64_t>(v->as_number());
+  if (const Json* v = doc.find("sim")) spec.sim = sim_from_json(*v);
+  return spec;
+}
+
+Json ScenarioSpec::to_json() const {
+  Json::Object doc;
+  if (!system_ref.empty()) {
+    doc["system"] = Json(system_ref);
+  } else if (system.levels() > 0) {
+    doc["system"] = core::to_json(system);
+  }
+  doc["model"] = Json(model);
+  doc["model_options"] = model_options_to_json(model_options);
+  doc["distribution"] = distribution.to_json();
+  doc["optimizer"] = optimizer_to_json(optimizer);
+  doc["trials"] = Json(static_cast<double>(trials));
+  doc["seed"] = Json(static_cast<double>(seed));
+  doc["sim"] = sim_to_json(sim);
+  return Json(std::move(doc));
+}
+
+ScenarioSpec ScenarioSpec::load(const std::string& path) {
+  return from_json(Json::parse(core::read_file(path)));
+}
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec,
+                             util::ThreadPool* pool) {
+  spec.validate();
+  ScenarioOutcome outcome;
+
+  if (spec.model == "dauwe") {
+    // The cached fast path: one engine, contexts shared across the whole
+    // sweep and refinement.
+    const EvaluationEngine engine = spec.make_engine();
+    const core::OptimizationResult best =
+        engine.optimize(spec.optimizer, pool);
+    outcome.selected.technique = "Dauwe et al.";
+    outcome.selected.plan = best.plan;
+    outcome.selected.predicted_time = best.expected_time;
+    outcome.selected.predicted_efficiency = best.efficiency;
+  } else {
+    const auto technique = models::make_technique(spec.model);
+    outcome.selected = technique->select_plan(spec.system, pool);
+  }
+
+  if (spec.distribution.is_default_exponential()) {
+    // Native Poisson source: bit-compatible with pre-scenario seeds.
+    outcome.stats =
+        sim::run_trials(spec.system, outcome.selected.plan, spec.trials,
+                        spec.seed, spec.sim, pool);
+  } else {
+    const auto law = spec.distribution.make(spec.system);
+    outcome.stats = sim::run_trials_with_distribution(
+        spec.system, outcome.selected.plan, *law, spec.trials, spec.seed,
+        spec.sim, pool);
+  }
+  return outcome;
+}
+
+}  // namespace mlck::engine

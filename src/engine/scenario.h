@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/dauwe_model.h"
+#include "core/optimizer.h"
+#include "core/technique.h"
+#include "engine/evaluation.h"
+#include "math/distribution.h"
+#include "sim/simulator.h"
+#include "sim/trial_runner.h"
+#include "systems/system_config.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace mlck::engine {
+
+/// Declarative choice of failure inter-arrival law for a scenario. The
+/// default is the paper's exponential assumption at the system MTBF;
+/// Weibull/LogNormal select renewal processes with the same mean for the
+/// non-exponential stress studies (math/distribution.h).
+struct DistributionSpec {
+  enum class Kind { kExponential, kWeibull, kLogNormal };
+
+  Kind kind = Kind::kExponential;
+  double shape = 0.7;   ///< Weibull shape (ignored otherwise)
+  double sigma = 1.0;   ///< LogNormal sigma (ignored otherwise)
+  /// Mean inter-arrival in minutes; <= 0 means "the system's MTBF".
+  double mean = 0.0;
+
+  /// True for the exponential law at the system MTBF — the case where the
+  /// simulator's native Poisson source applies and trial results stay
+  /// bit-compatible with seeds from the pre-scenario API.
+  bool is_default_exponential() const noexcept {
+    return kind == Kind::kExponential && mean <= 0.0;
+  }
+
+  /// Instantiates the law for @p system (resolves the default mean).
+  std::unique_ptr<math::FailureDistribution> make(
+      const systems::SystemConfig& system) const;
+
+  static DistributionSpec from_json(const util::Json& doc);
+  util::Json to_json() const;
+};
+
+/// One fully-declared evaluation scenario: everything the CLI, the
+/// experiment drivers, the benches, and the examples previously assembled
+/// by hand — system, model choice and options, failure law, optimizer
+/// controls, and simulation controls — in one JSON-round-trippable value.
+struct ScenarioSpec {
+  systems::SystemConfig system;
+  /// Non-empty when the system came from a Table I name; to_json then
+  /// emits the name instead of the inline document.
+  std::string system_ref;
+
+  /// Technique registry name: "dauwe", "di", "moody", "benoit", "daly",
+  /// "young". model_options applies to the Dauwe model only.
+  std::string model = "dauwe";
+  core::DauweOptions model_options;
+
+  DistributionSpec distribution;
+  core::OptimizerOptions optimizer;
+
+  std::size_t trials = 200;
+  std::uint64_t seed = 20180521;
+  sim::SimOptions sim;
+
+  /// Throws std::invalid_argument when the spec is unusable (no system,
+  /// unknown model name checked lazily by run_scenario).
+  void validate() const;
+
+  /// The cached evaluation engine for this scenario's system + options.
+  EvaluationEngine make_engine() const {
+    return EvaluationEngine(system, model_options);
+  }
+
+  /// Round-trip: from_json(to_json(spec)) == spec (compared as JSON).
+  /// Every field except "system" is optional and defaults as above.
+  static ScenarioSpec from_json(const util::Json& doc);
+  util::Json to_json() const;
+
+  /// Convenience: parse/serialize whole files.
+  static ScenarioSpec load(const std::string& path);
+};
+
+/// Result of driving one scenario end to end.
+struct ScenarioOutcome {
+  core::TechniqueResult selected;  ///< chosen plan + the model's forecast
+  sim::TrialStats stats;           ///< Monte-Carlo validation under the
+                                   ///< scenario's failure distribution
+};
+
+/// Runs @p spec end to end: selects a plan (through the cached
+/// EvaluationEngine for the Dauwe model, through the technique registry
+/// otherwise) and validates it with spec.trials simulated runs drawn from
+/// spec.distribution. With the default exponential distribution the
+/// simulation is bit-identical to sim::run_trials on the same seed.
+ScenarioOutcome run_scenario(const ScenarioSpec& spec,
+                             util::ThreadPool* pool = nullptr);
+
+}  // namespace mlck::engine

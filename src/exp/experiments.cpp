@@ -14,6 +14,21 @@ const TechniqueOutcome& ScenarioResult::outcome(
   throw std::out_of_range("no outcome for technique: " + technique);
 }
 
+ExperimentOptions options_from(
+    const engine::ScenarioSpec& spec, util::ThreadPool* pool,
+    std::unique_ptr<const math::FailureDistribution>& distribution_storage) {
+  ExperimentOptions options;
+  options.trials = spec.trials;
+  options.seed = spec.seed;
+  options.sim = spec.sim;
+  options.pool = pool;
+  if (!spec.distribution.is_default_exponential()) {
+    distribution_storage = spec.distribution.make(spec.system);
+    options.failure_distribution = distribution_storage.get();
+  }
+  return options;
+}
+
 TechniqueOutcome evaluate_technique(const core::Technique& technique,
                                     const systems::SystemConfig& system,
                                     const ExperimentOptions& options) {
@@ -24,8 +39,14 @@ TechniqueOutcome evaluate_technique(const core::Technique& technique,
   out.plan = selected.plan;
   out.predicted_time = selected.predicted_time;
   out.predicted_efficiency = selected.predicted_efficiency;
-  out.sim = sim::run_trials(system, selected.plan, options.trials,
-                            options.seed, options.sim, options.pool);
+  if (options.failure_distribution != nullptr) {
+    out.sim = sim::run_trials_with_distribution(
+        system, selected.plan, *options.failure_distribution, options.trials,
+        options.seed, options.sim, options.pool);
+  } else {
+    out.sim = sim::run_trials(system, selected.plan, options.trials,
+                              options.seed, options.sim, options.pool);
+  }
   return out;
 }
 

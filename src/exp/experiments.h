@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/technique.h"
+#include "engine/scenario.h"
 #include "sim/trial_runner.h"
 #include "systems/system_config.h"
 #include "util/thread_pool.h"
@@ -19,7 +20,21 @@ struct ExperimentOptions {
   std::uint64_t seed = 0x5eed2018c0ffeeULL;
   sim::SimOptions sim;
   util::ThreadPool* pool = nullptr;
+
+  /// Failure inter-arrival law for the validation simulations. When null
+  /// the simulator's native exponential source is used (the paper's
+  /// assumption, bit-compatible with historical seeds); when set, trials
+  /// draw from this renewal law instead. Non-owning; must outlive use.
+  const math::FailureDistribution* failure_distribution = nullptr;
 };
+
+/// Experiment controls from a declarative scenario: trials, seed, and sim
+/// options are copied from @p spec; a non-default distribution in the
+/// spec materializes into @p distribution_storage (owned by the caller)
+/// and is wired into the returned options.
+ExperimentOptions options_from(
+    const engine::ScenarioSpec& spec, util::ThreadPool* pool,
+    std::unique_ptr<const math::FailureDistribution>& distribution_storage);
 
 /// One technique's bar in a figure: its selected plan, its own forecast
 /// (the diamond), and the simulated outcome (the bar and error whiskers).

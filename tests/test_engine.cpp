@@ -1,0 +1,346 @@
+// Golden guarantees of the evaluation engine: every result that flows
+// through src/engine — cached kernels, batched sweeps, the optimizer
+// front-end, and full scenario runs — must be *bit-identical* to the
+// direct DauweModel / optimize_intervals / run_trials path it replaced.
+// These tests use exact EXPECT_EQ on doubles deliberately: the engine is
+// an exact factoring of the same arithmetic, not an approximation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "app/commands.h"
+#include "core/dauwe_kernel.h"
+#include "core/dauwe_model.h"
+#include "core/optimizer.h"
+#include "engine/evaluation.h"
+#include "engine/scenario.h"
+#include "sim/trial_runner.h"
+#include "systems/test_systems.h"
+#include "util/json.h"
+
+namespace mlck::engine {
+namespace {
+
+using core::CheckpointPlan;
+using core::DauweModel;
+using core::DauweOptions;
+
+const char* const kAllSystems[] = {"M",  "B",  "D1", "D2", "D3", "D4",
+                                   "D5", "D6", "D7", "D8", "D9"};
+
+/// Deterministic random plans over a random level subset of @p system.
+std::vector<CheckpointPlan> random_plans(const systems::SystemConfig& system,
+                                         int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> tau(0.05, 30.0);
+  std::uniform_int_distribution<int> count(0, 12);
+  std::vector<CheckpointPlan> plans;
+  for (int i = 0; i < n; ++i) {
+    CheckpointPlan plan;
+    plan.tau0 = tau(rng);
+    // Random non-empty ascending subset of the system's levels.
+    for (int level = 0; level < system.levels(); ++level) {
+      if (rng() % 2 == 0) plan.levels.push_back(level);
+    }
+    if (plan.levels.empty()) {
+      plan.levels.push_back(static_cast<int>(rng() % system.levels()));
+    }
+    plan.counts.resize(plan.levels.size() - 1);
+    for (auto& c : plan.counts) c = count(rng);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+TEST(EngineGolden, ExpectedTimeBitMatchesDauweModelOnAllSystems) {
+  for (const char* name : kAllSystems) {
+    const auto sys = systems::table1_system(name);
+    const DauweModel model;
+    const EvaluationEngine engine(sys);
+    for (const auto& plan : random_plans(sys, 50, 42)) {
+      const double direct = model.expected_time(sys, plan);
+      const double cached = engine.expected_time(plan);
+      if (std::isinf(direct)) {
+        EXPECT_TRUE(std::isinf(cached)) << name << " " << plan.to_string();
+      } else {
+        EXPECT_EQ(direct, cached) << name << " " << plan.to_string();
+      }
+    }
+  }
+}
+
+TEST(EngineGolden, ExpectedTimeBitMatchesUnderAllOptionVariants) {
+  const auto sys = systems::table1_system("B");
+  DauweOptions variants[4];
+  variants[1].checkpoint_failures = false;
+  variants[2].restart_failures = false;
+  variants[3].renormalize_severity_shares = true;
+  for (const auto& options : variants) {
+    const DauweModel model(options);
+    const EvaluationEngine engine(sys, options);
+    for (const auto& plan : random_plans(sys, 40, 7)) {
+      const double direct = model.expected_time(sys, plan);
+      const double cached = engine.expected_time(plan);
+      if (std::isinf(direct)) {
+        EXPECT_TRUE(std::isinf(cached)) << plan.to_string();
+      } else {
+        EXPECT_EQ(direct, cached) << plan.to_string();
+      }
+    }
+  }
+}
+
+TEST(EngineGolden, PredictBitMatchesDauweModelBreakdown) {
+  for (const char* name : {"M", "B", "D5", "D9"}) {
+    const auto sys = systems::table1_system(name);
+    const DauweModel model;
+    const EvaluationEngine engine(sys);
+    for (const auto& plan : random_plans(sys, 20, 99)) {
+      const auto direct = model.predict(sys, plan);
+      if (std::isinf(direct.expected_time)) continue;
+      const auto cached = engine.predict(plan);
+      EXPECT_EQ(direct.expected_time, cached.expected_time) << name;
+      EXPECT_EQ(direct.efficiency, cached.efficiency) << name;
+      EXPECT_EQ(direct.breakdown.compute, cached.breakdown.compute);
+      EXPECT_EQ(direct.breakdown.checkpoint_ok,
+                cached.breakdown.checkpoint_ok);
+      EXPECT_EQ(direct.breakdown.checkpoint_failed,
+                cached.breakdown.checkpoint_failed);
+      EXPECT_EQ(direct.breakdown.restart_ok, cached.breakdown.restart_ok);
+      EXPECT_EQ(direct.breakdown.restart_failed,
+                cached.breakdown.restart_failed);
+      EXPECT_EQ(direct.breakdown.rework_compute,
+                cached.breakdown.rework_compute);
+      EXPECT_EQ(direct.breakdown.rework_checkpoint,
+                cached.breakdown.rework_checkpoint);
+      EXPECT_EQ(direct.breakdown.scratch_rework,
+                cached.breakdown.scratch_rework);
+    }
+  }
+}
+
+TEST(EngineGolden, KernelMatchesModelDirectly) {
+  const auto sys = systems::table1_system("D8");
+  const DauweModel model;
+  for (const auto& plan : random_plans(sys, 30, 5)) {
+    const core::DauweKernel kernel(sys, plan.levels, model.options());
+    const double direct = model.expected_time(sys, plan);
+    const double viaKernel = kernel.expected_time(plan.tau0, plan.counts);
+    if (std::isinf(direct)) {
+      EXPECT_TRUE(std::isinf(viaKernel));
+    } else {
+      EXPECT_EQ(direct, viaKernel);
+    }
+  }
+}
+
+/// Reduced search so the all-systems optimizer comparison stays fast while
+/// still exercising subsets, pruning, and refinement.
+core::OptimizerOptions quick_search() {
+  core::OptimizerOptions opts;
+  opts.coarse_tau_points = 24;
+  opts.max_count = 32;
+  opts.refine_rounds = 8;
+  return opts;
+}
+
+TEST(EngineGolden, OptimizeBitMatchesOptimizeIntervalsOnAllSystems) {
+  for (const char* name : kAllSystems) {
+    const auto sys = systems::table1_system(name);
+    const DauweModel model;
+    const EvaluationEngine engine(sys);
+    const auto opts = quick_search();
+    const auto direct = core::optimize_intervals(model, sys, opts);
+    const auto cached = engine.optimize(opts);
+    EXPECT_EQ(direct.plan.tau0, cached.plan.tau0) << name;
+    EXPECT_EQ(direct.plan.counts, cached.plan.counts) << name;
+    EXPECT_EQ(direct.plan.levels, cached.plan.levels) << name;
+    EXPECT_EQ(direct.expected_time, cached.expected_time) << name;
+    EXPECT_EQ(direct.efficiency, cached.efficiency) << name;
+    EXPECT_EQ(direct.evaluations, cached.evaluations) << name;
+  }
+}
+
+TEST(EngineGolden, OptimizeBitMatchesWithThreadPool) {
+  const auto sys = systems::table1_system("B");
+  const DauweModel model;
+  const EvaluationEngine engine(sys);
+  util::ThreadPool pool(3);
+  const auto direct = core::optimize_intervals(model, sys, {}, &pool);
+  const auto cached = engine.optimize({}, &pool);
+  EXPECT_EQ(direct.plan.tau0, cached.plan.tau0);
+  EXPECT_EQ(direct.plan.counts, cached.plan.counts);
+  EXPECT_EQ(direct.plan.levels, cached.plan.levels);
+  EXPECT_EQ(direct.expected_time, cached.expected_time);
+  EXPECT_EQ(direct.evaluations, cached.evaluations);
+}
+
+TEST(Engine, ContextsAreCachedAndReused) {
+  const auto sys = systems::table1_system("B");
+  const EvaluationEngine engine(sys);
+  EXPECT_EQ(engine.cached_contexts(), 0u);
+  const auto& first = engine.context({0, 1, 2, 3});
+  const auto& again = engine.context({0, 1, 2, 3});
+  EXPECT_EQ(&first, &again);  // same immutable context object
+  EXPECT_EQ(engine.cached_contexts(), 1u);
+  engine.context({0, 1});
+  EXPECT_EQ(engine.cached_contexts(), 2u);
+}
+
+TEST(Engine, BatchedExpectedTimesMatchScalarAndAreThreadInvariant) {
+  const auto sys = systems::table1_system("D7");
+  const EvaluationEngine engine(sys);
+  const auto plans = random_plans(sys, 200, 1234);
+  const auto serial = engine.expected_times(plans);
+  util::ThreadPool pool(4);
+  const auto parallel = engine.expected_times(plans, &pool);
+  ASSERT_EQ(serial.size(), plans.size());
+  ASSERT_EQ(parallel.size(), plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const double scalar = engine.expected_time(plans[i]);
+    if (std::isinf(scalar)) {
+      EXPECT_TRUE(std::isinf(serial[i]));
+      EXPECT_TRUE(std::isinf(parallel[i]));
+    } else {
+      EXPECT_EQ(serial[i], scalar);
+      EXPECT_EQ(parallel[i], scalar);
+    }
+  }
+}
+
+TEST(Engine, RejectsInvalidSystem) {
+  systems::SystemConfig bad;  // no levels
+  EXPECT_THROW(EvaluationEngine{bad}, std::invalid_argument);
+}
+
+TEST(ScenarioSpec, JsonRoundTripIsExact) {
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D5");
+  spec.model = "dauwe";
+  spec.model_options.renormalize_severity_shares = true;
+  spec.distribution.kind = DistributionSpec::Kind::kWeibull;
+  spec.distribution.shape = 1.5;
+  spec.optimizer.coarse_tau_points = 17;
+  spec.optimizer.restrict_levels = {0, 1};
+  spec.trials = 33;
+  spec.seed = 987654321;
+  spec.sim.take_final_checkpoint = true;
+
+  const auto doc = spec.to_json();
+  const auto back = ScenarioSpec::from_json(doc);
+  EXPECT_EQ(doc.dump(), back.to_json().dump());
+
+  // And through actual text, as a file would round-trip.
+  const auto reparsed =
+      ScenarioSpec::from_json(util::Json::parse(doc.dump(2)));
+  EXPECT_EQ(doc.dump(), reparsed.to_json().dump());
+  EXPECT_EQ(reparsed.trials, 33u);
+  EXPECT_EQ(reparsed.seed, 987654321u);
+  EXPECT_EQ(reparsed.optimizer.restrict_levels, (std::vector<int>{0, 1}));
+  EXPECT_EQ(reparsed.distribution.kind, DistributionSpec::Kind::kWeibull);
+  EXPECT_EQ(reparsed.distribution.shape, 1.5);
+}
+
+TEST(ScenarioSpec, SystemRefRoundTripsAsName) {
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D3");
+  spec.system_ref = "D3";
+  const auto doc = spec.to_json();
+  EXPECT_TRUE(doc.at("system").is_string());
+  const auto back = ScenarioSpec::from_json(doc);
+  EXPECT_EQ(back.system_ref, "D3");
+  EXPECT_EQ(back.system.mtbf, spec.system.mtbf);
+  EXPECT_EQ(back.system.levels(), spec.system.levels());
+}
+
+TEST(ScenarioSpec, ValidateRejectsEmptySystemAndBadTrials) {
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.system = systems::table1_system("D1");
+  EXPECT_NO_THROW(spec.validate());
+  spec.trials = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(RunScenario, DefaultExponentialBitMatchesDirectPipeline) {
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D5");
+  spec.trials = 50;
+  spec.seed = 3;
+  const auto outcome = run_scenario(spec);
+
+  // Direct pipeline: same optimizer, then the native simulator entry
+  // point with the same seed.
+  const DauweModel model;
+  const auto selected = core::optimize_intervals(model, spec.system);
+  EXPECT_EQ(outcome.selected.plan.tau0, selected.plan.tau0);
+  EXPECT_EQ(outcome.selected.plan.counts, selected.plan.counts);
+  EXPECT_EQ(outcome.selected.predicted_time, selected.expected_time);
+  const auto stats = sim::run_trials(spec.system, selected.plan,
+                                     spec.trials, spec.seed, spec.sim);
+  EXPECT_EQ(outcome.stats.efficiency.mean, stats.efficiency.mean);
+  EXPECT_EQ(outcome.stats.efficiency.stddev, stats.efficiency.stddev);
+  EXPECT_EQ(outcome.stats.total_time.mean, stats.total_time.mean);
+  EXPECT_EQ(outcome.stats.mean_failures, stats.mean_failures);
+}
+
+TEST(RunScenario, NonExponentialDistributionChangesTheDraws) {
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D5");
+  spec.trials = 50;
+  spec.seed = 3;
+  const auto exponential = run_scenario(spec);
+  spec.distribution.kind = DistributionSpec::Kind::kWeibull;
+  spec.distribution.shape = 0.7;
+  const auto weibull = run_scenario(spec);
+  // Same plan (selection is model-driven, distribution-independent for
+  // the exponential-assumption model), different simulated draws.
+  EXPECT_EQ(exponential.selected.plan.tau0, weibull.selected.plan.tau0);
+  EXPECT_NE(exponential.stats.efficiency.mean,
+            weibull.stats.efficiency.mean);
+}
+
+TEST(RunScenario, NonDauweModelGoesThroughTechniqueRegistry) {
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D5");
+  spec.model = "moody";
+  spec.trials = 20;
+  const auto outcome = run_scenario(spec);
+  EXPECT_EQ(outcome.selected.technique, "Moody et al.");
+  EXPECT_GT(outcome.stats.efficiency.mean, 0.0);
+}
+
+TEST(RunScenario, UnknownModelThrows) {
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D5");
+  spec.model = "nonesuch";
+  EXPECT_THROW(run_scenario(spec), std::out_of_range);
+}
+
+TEST(ScenarioCli, EmitSpecThenRunRoundTrip) {
+  // `mlck scenario --system=D5 --emit-spec` writes a complete document...
+  std::ostringstream out, err;
+  const std::string path = ::testing::TempDir() + "mlck_scenario_spec.json";
+  ASSERT_EQ(app::run_command(
+                {"scenario", "--system=D5", "--emit-spec=" + path}, out, err),
+            0)
+      << err.str();
+
+  // ...which the run mode consumes end to end.
+  std::ostringstream run_out, run_err;
+  ASSERT_EQ(app::run_command(
+                {"scenario", "--spec=" + path, "--trials=20"}, run_out,
+                run_err),
+            0)
+      << run_err.str();
+  EXPECT_NE(run_out.str().find("efficiency"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mlck::engine

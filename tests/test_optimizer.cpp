@@ -144,6 +144,50 @@ TEST(Optimizer, ThrowsWhenEveryPlanIsInfeasible) {
   EXPECT_THROW(optimize_intervals(model, sys, opts), std::runtime_error);
 }
 
+TEST(Optimizer, FactoryOverloadMatchesModelOverloadExactly) {
+  // optimize_intervals_with is the hook the engine layer uses; a factory
+  // whose cost function simply calls the model must reproduce the model
+  // overload bit for bit — same plan, same expected time, and the same
+  // number of evaluations (proving identical sweep/pruning/refinement).
+  for (const char* name : {"M", "B", "D5"}) {
+    const auto sys = systems::table1_system(name);
+    const DauweModel model;
+    const SubsetEvaluatorFactory factory =
+        [&](const std::vector<int>& levels) -> PlanCostFn {
+      (void)levels;
+      return [&](const CheckpointPlan& plan) {
+        return model.expected_time(sys, plan);
+      };
+    };
+    const auto direct = optimize_intervals(model, sys);
+    const auto hooked = optimize_intervals_with(factory, sys);
+    EXPECT_EQ(direct.plan.tau0, hooked.plan.tau0) << name;
+    EXPECT_EQ(direct.plan.counts, hooked.plan.counts) << name;
+    EXPECT_EQ(direct.plan.levels, hooked.plan.levels) << name;
+    EXPECT_EQ(direct.expected_time, hooked.expected_time) << name;
+    EXPECT_EQ(direct.evaluations, hooked.evaluations) << name;
+  }
+}
+
+TEST(Optimizer, FactoryIsCalledOncePerLevelSubset) {
+  const auto sys = systems::table1_system("B");  // 4 levels, suffix skipping
+  const DauweModel model;
+  std::vector<std::vector<int>> subsets;
+  const SubsetEvaluatorFactory factory =
+      [&](const std::vector<int>& levels) -> PlanCostFn {
+    subsets.push_back(levels);
+    return [&](const CheckpointPlan& plan) {
+      return model.expected_time(sys, plan);
+    };
+  };
+  optimize_intervals_with(factory, sys);
+  // Full hierarchy plus each suffix-skipped subset, each visited once.
+  EXPECT_EQ(subsets.size(), 4u);
+  for (std::size_t i = 1; i < subsets.size(); ++i) {
+    EXPECT_NE(subsets[i], subsets[i - 1]);
+  }
+}
+
 TEST(Optimizer, RefinementImprovesOnCoarsePass) {
   // With refinement disabled the objective can only be worse or equal.
   const auto sys = systems::table1_system("D7");
