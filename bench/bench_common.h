@@ -1,15 +1,18 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "engine/scenario.h"
 #include "exp/experiments.h"
 #include "exp/plot.h"
+#include "obs/registry.h"
 #include "util/cli.h"
 #include "util/thread_pool.h"
 
@@ -21,12 +24,20 @@ namespace mlck::bench {
 /// --trials/--seed/--threads/--dist override them for quick runs or
 /// non-exponential stress studies, and --spec=file.json loads a whole
 /// scenario document (CLI flags still win afterwards).
+/// --metrics=file.json instruments the run (simulator + thread-pool
+/// counters; docs/OBSERVABILITY.md) and writes the sidecar when the
+/// config is destroyed, i.e. after the driver's sweep finishes.
 struct BenchConfig {
   engine::ScenarioSpec spec;
   std::unique_ptr<util::ThreadPool> pool;
   exp::ExperimentOptions options;  ///< derived from spec; what drivers use
   bool csv = false;
   std::string plot_prefix;  ///< --plot=prefix writes prefix.dat/.gp
+  std::string metrics_path;  ///< --metrics=file writes the sidecar there
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  /// Keeps the metric pointers installed in spec.sim / spec.optimizer /
+  /// the pool alive for the whole sweep.
+  std::unique_ptr<engine::ScenarioMetrics> wiring_;
 
   explicit BenchConfig(const util::Cli& cli, std::size_t default_trials) {
     if (const auto path = cli.value("spec"); path && !path->empty()) {
@@ -44,9 +55,23 @@ struct BenchConfig {
     }
     csv = cli.get_bool("csv", false);
     plot_prefix = cli.get_string("plot", "");
+    metrics_path = cli.get_string("metrics", "");
     const int threads = cli.get_int("threads", 0);
-    pool = std::make_unique<util::ThreadPool>(
-        static_cast<std::size_t>(threads));
+    std::size_t workers = static_cast<std::size_t>(std::max(threads, 0));
+    if (workers == 0 && !metrics_path.empty()) {
+      // At least two workers for instrumented runs: a one-worker pool
+      // degrades to the sequential parallel_for path and would leave the
+      // pool.* metrics at zero.
+      workers = std::max(2u, std::thread::hardware_concurrency());
+    }
+    pool = std::make_unique<util::ThreadPool>(workers);
+    if (!metrics_path.empty()) {
+      registry = std::make_unique<obs::MetricsRegistry>();
+      wiring_ = std::make_unique<engine::ScenarioMetrics>(*registry);
+      spec.sim.metrics = &wiring_->sim;
+      spec.optimizer.metrics = &wiring_->optimizer;
+      pool->attach_metrics(engine::pool_metrics(*registry));
+    }
 
     options.trials = spec.trials;
     options.seed = spec.seed;
@@ -56,6 +81,20 @@ struct BenchConfig {
     // mean is the system MTBF); drivers that sweep systems call
     // options_for(system) per point instead.
   }
+
+  ~BenchConfig() {
+    if (registry == nullptr || metrics_path.empty()) return;
+    try {
+      std::ofstream out(metrics_path);
+      out << registry->to_json().dump(2) << "\n";
+      std::cerr << "[mlck] wrote metrics sidecar " << metrics_path << "\n";
+    } catch (...) {
+      // Best-effort sidecar; never fail the sweep's exit path.
+    }
+  }
+
+  BenchConfig(const BenchConfig&) = delete;
+  BenchConfig& operator=(const BenchConfig&) = delete;
 
   /// Experiment options for one concrete system, with the scenario's
   /// failure distribution materialized against that system's MTBF. The

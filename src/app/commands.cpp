@@ -1,8 +1,10 @@
 #include "app/commands.h"
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <thread>
 
 #include "core/adaptive.h"
 #include "core/dauwe_model.h"
@@ -17,6 +19,7 @@
 #include "models/moody.h"
 #include "models/registry.h"
 #include "models/young.h"
+#include "obs/registry.h"
 #include "sim/trial_runner.h"
 #include "systems/test_systems.h"
 #include "util/cli.h"
@@ -281,13 +284,29 @@ int cmd_scenario(const Cli& cli, std::ostream& out) {
   if (const auto seed = cli.value("seed"); seed) {
     spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   }
+  const auto metrics_path = cli.value("metrics");
   std::unique_ptr<util::ThreadPool> pool;
-  if (const int threads = cli.get_int("threads", 0); threads > 0) {
-    pool = std::make_unique<util::ThreadPool>(
-        static_cast<std::size_t>(threads));
+  // An observability run gets a pool even without --threads, so the
+  // pool.* metrics reflect the real parallel execution shape (results
+  // are thread-count independent by design). At least two workers: a
+  // one-worker pool degrades to the sequential parallel_for path and
+  // would leave every pool.* metric at zero.
+  if (const int threads = cli.get_int("threads", 0);
+      threads > 0 || metrics_path.has_value()) {
+    std::size_t workers = static_cast<std::size_t>(threads > 0 ? threads : 0);
+    if (workers == 0 && metrics_path.has_value()) {
+      workers = std::max(2u, std::thread::hardware_concurrency());
+    }
+    pool = std::make_unique<util::ThreadPool>(workers);
+  }
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  if (metrics_path) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    if (pool) pool->attach_metrics(engine::pool_metrics(*registry));
   }
 
-  const auto outcome = engine::run_scenario(spec, pool.get());
+  const auto outcome = engine::run_scenario(spec, pool.get(),
+                                            registry.get());
   const auto law = spec.distribution.make(spec.system);
   Table table({"field", "value"});
   table.add_row({"system", spec.system.name});
@@ -311,6 +330,16 @@ int cmd_scenario(const Cli& cli, std::ostream& out) {
     core::write_file(*path,
                      core::to_json(outcome.selected.plan).dump(2) + "\n");
     out << "plan written to " << *path << "\n";
+  }
+  if (registry) {
+    const std::string text = registry->to_json().dump(2) + "\n";
+    if (metrics_path->empty()) {
+      out << "\nmetrics\n";
+      registry->print(out);
+    } else {
+      core::write_file(*metrics_path, text);
+      out << "metrics written to " << *metrics_path << "\n";
+    }
   }
   return 0;
 }
@@ -374,12 +403,14 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
       level_cell = "L";
       level_cell += std::to_string(ev.system_level + 1);
     }
-    std::string outcome = "ok";
-    if (!ev.completed) {
-      outcome = "failed (severity ";
-      outcome += std::to_string(ev.failure_severity + 1);
-      outcome += ")";
-    }
+    const std::string outcome = [&]() -> std::string {
+      if (ev.completed) return "ok";
+      if (ev.failure_severity < 0) {
+        return "capped";  // truncated at the time cap, no failure
+      }
+      return "failed (severity " +
+             std::to_string(ev.failure_severity + 1) + ")";
+    }();
     table.add_row({Table::num(ev.start, 2),
                    names[static_cast<int>(ev.kind)], level_cell,
                    Table::num(ev.end - ev.start, 2), outcome});

@@ -24,12 +24,18 @@ namespace mlck::app {
 ///   mlck trace    --system=... [--seed=4] [--max-events=40]
 ///   mlck scenario --spec=scenario.json [--trials=...] [--seed=...]
 ///                 [--threads=0] [--out=plan.json]
+///                 [--metrics[=metrics.json]]
 ///   mlck scenario --system=... --emit-spec[=scenario.json]
 ///
 /// `scenario` drives one declarative engine::ScenarioSpec end to end:
 /// plan selection through the cached evaluation engine, then Monte-Carlo
 /// validation under the spec's failure distribution. `--emit-spec` writes
 /// a complete spec document for the given system to start from.
+/// `--metrics=file.json` writes an observability sidecar (engine cache,
+/// optimizer sweep, simulator, and thread-pool counters; schema and
+/// metric names in docs/OBSERVABILITY.md) next to the results; with no
+/// file the metrics tables are printed after the report. Instrumentation
+/// is observe-only: results are identical with and without it.
 ///
 /// `--system` accepts a Table I name (M, B, D1..D9) or a path to a JSON
 /// system document (see core/serialize.h for the schema).

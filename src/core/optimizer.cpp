@@ -41,7 +41,7 @@ template <typename CostFn>
 void sweep_counts(const CostFn& cost, const systems::SystemConfig& system,
                   CheckpointPlan& plan, const std::vector<int>& ladder,
                   std::size_t dim, double pattern_so_far, Candidate& best,
-                  std::size_t& evals) {
+                  std::size_t& evals, std::size_t& pruned) {
   if (dim == plan.counts.size()) {
     ++evals;
     const double t = cost(plan);
@@ -52,11 +52,16 @@ void sweep_counts(const CostFn& cost, const systems::SystemConfig& system,
     }
     return;
   }
-  for (const int n : ladder) {
+  for (std::size_t li = 0; li < ladder.size(); ++li) {
+    const int n = ladder[li];
     const double pattern = pattern_so_far * (n + 1);
-    if (plan.tau0 * pattern > system.base_time) break;  // ladder ascends
+    if (plan.tau0 * pattern > system.base_time) {  // ladder ascends
+      pruned += ladder.size() - li;  // branches cut, one per skipped rung
+      break;
+    }
     plan.counts[dim] = n;
-    sweep_counts(cost, system, plan, ladder, dim + 1, pattern, best, evals);
+    sweep_counts(cost, system, plan, ladder, dim + 1, pattern, best, evals,
+                 pruned);
   }
 }
 
@@ -91,6 +96,8 @@ OptimizationResult optimize_impl(const MakeCost& make_cost,
   Candidate global;
   std::vector<int> global_levels;
   std::size_t total_evals = 0;
+  std::size_t total_pruned = 0;
+  std::size_t refine_evals = 0;
 
   for (const auto& levels : subsets) {
     const std::size_t dims = levels.size() - 1;
@@ -100,13 +107,14 @@ OptimizationResult optimize_impl(const MakeCost& make_cost,
     // private slot; the reduction below is serial and deterministic.
     std::vector<Candidate> slice(taus.size());
     std::vector<std::size_t> slice_evals(taus.size(), 0);
+    std::vector<std::size_t> slice_pruned(taus.size(), 0);
     util::parallel_for(pool, taus.size(), [&](std::size_t ti) {
       CheckpointPlan plan;
       plan.tau0 = taus[ti];
       plan.levels = levels;
       plan.counts.assign(dims, 0);
       sweep_counts(cost, system, plan, ladder, 0, 1.0, slice[ti],
-                   slice_evals[ti]);
+                   slice_evals[ti], slice_pruned[ti]);
     });
 
     Candidate best;
@@ -114,6 +122,7 @@ OptimizationResult optimize_impl(const MakeCost& make_cost,
       if (c.time < best.time) best = c;
     }
     for (const auto e : slice_evals) total_evals += e;
+    for (const auto p : slice_pruned) total_pruned += p;
     if (!std::isfinite(best.time)) continue;
 
     // Refinement: coordinate descent over tau0 and each count, evaluated
@@ -131,6 +140,7 @@ OptimizationResult optimize_impl(const MakeCost& make_cost,
         plan.tau0 = tau;
         plan.counts = best.counts;
         ++total_evals;
+        ++refine_evals;
         const double t = cost(plan);
         if (t < improved.time) {
           improved = Candidate{t, tau, best.counts};
@@ -144,6 +154,7 @@ OptimizationResult optimize_impl(const MakeCost& make_cost,
           plan.counts = best.counts;
           plan.counts[d] = n;
           ++total_evals;
+          ++refine_evals;
           const double t = cost(plan);
           if (t < improved.time) {
             improved = Candidate{t, best.tau0, plan.counts};
@@ -158,6 +169,15 @@ OptimizationResult optimize_impl(const MakeCost& make_cost,
       global = std::move(best);
       global_levels = levels;
     }
+  }
+
+  // Flush observe-only counters once, after the whole search, so the
+  // enumeration itself stays free of atomic traffic.
+  if (const OptimizerMetrics* m = options.metrics; m != nullptr) {
+    if (m->plans_swept) m->plans_swept->add(total_evals - refine_evals);
+    if (m->plans_pruned) m->plans_pruned->add(total_pruned);
+    if (m->plans_refined) m->plans_refined->add(refine_evals);
+    if (m->subsets_searched) m->subsets_searched->add(subsets.size());
   }
 
   if (!std::isfinite(global.time)) {

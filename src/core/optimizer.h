@@ -6,9 +6,22 @@
 
 #include "core/model.h"
 #include "core/plan.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace mlck::core {
+
+/// Optional search observability. Null members are skipped; counts are
+/// accumulated per subset in locals and flushed once per sweep, so the
+/// hot enumeration loop is untouched and results are unaffected.
+struct OptimizerMetrics {
+  obs::Counter* plans_swept = nullptr;    ///< coarse-pass cost evaluations
+  /// Ladder branches cut by the feasibility bound tau0 * prod(N+1) <= T_B
+  /// before being evaluated.
+  obs::Counter* plans_pruned = nullptr;
+  obs::Counter* plans_refined = nullptr;  ///< refinement cost evaluations
+  obs::Counter* subsets_searched = nullptr;  ///< level subsets swept
+};
 
 /// Controls for the brute-force interval search of paper Sec. III-C.
 ///
@@ -34,6 +47,10 @@ struct OptimizerOptions {
   /// levels (e.g. {L-2, L-1} for the Di et al. two-level technique, or
   /// {L-1} for traditional checkpoint/restart). Overrides suffix skipping.
   std::vector<int> restrict_levels;
+
+  /// Observe-only counters for the search (docs/OBSERVABILITY.md).
+  /// Non-owning; ignored by JSON (de)serialization and by comparisons.
+  OptimizerMetrics* metrics = nullptr;
 };
 
 /// Outcome of an interval search.

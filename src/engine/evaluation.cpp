@@ -19,26 +19,36 @@ const EvaluationContext& EvaluationEngine::context(
              .emplace(levels, std::make_unique<EvaluationContext>(
                                   system_, levels, options_))
              .first;
+    if (metrics_.context_misses != nullptr) metrics_.context_misses->add();
+  } else if (metrics_.context_hits != nullptr) {
+    metrics_.context_hits->add();
   }
   return *it->second;
 }
 
 double EvaluationEngine::expected_time(const core::CheckpointPlan& plan) const {
+  if (metrics_.evaluations != nullptr) metrics_.evaluations->add();
   return context(plan.levels).kernel.expected_time(plan.tau0, plan.counts);
 }
 
 core::Prediction EvaluationEngine::predict(
     const core::CheckpointPlan& plan) const {
   plan.validate(system_);
+  if (metrics_.evaluations != nullptr) metrics_.evaluations->add();
   return context(plan.levels).kernel.predict(plan);
 }
 
 core::OptimizationResult EvaluationEngine::optimize(
     const core::OptimizerOptions& options, util::ThreadPool* pool) const {
-  const auto factory = [this](const std::vector<int>& levels)
+  // The sweep's cost callable bumps the evaluation counter with one
+  // relaxed increment; with no metrics attached the pointer is null and
+  // the branch never taken.
+  obs::Counter* const evals = metrics_.evaluations;
+  const auto factory = [this, evals](const std::vector<int>& levels)
       -> core::PlanCostFn {
     const EvaluationContext& ctx = context(levels);
-    return [&ctx](const core::CheckpointPlan& plan) {
+    return [&ctx, evals](const core::CheckpointPlan& plan) {
+      if (evals != nullptr) evals->add();
       return ctx.kernel.expected_time(plan.tau0, plan.counts);
     };
   };
@@ -57,6 +67,7 @@ std::vector<double> EvaluationEngine::expected_times(
   util::parallel_for(pool, plans.size(), [&](std::size_t i) {
     out[i] = ctx[i]->kernel.expected_time(plans[i].tau0, plans[i].counts);
   });
+  if (metrics_.evaluations != nullptr) metrics_.evaluations->add(plans.size());
   return out;
 }
 

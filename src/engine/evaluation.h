@@ -8,10 +8,21 @@
 
 #include "core/dauwe_kernel.h"
 #include "core/optimizer.h"
+#include "obs/metrics.h"
 #include "systems/system_config.h"
 #include "util/thread_pool.h"
 
 namespace mlck::engine {
+
+/// Optional engine observability: context-cache effectiveness and the
+/// number of model evaluations served. Null members are skipped; the
+/// per-evaluation cost with metrics attached is one relaxed atomic
+/// increment, and zero extra work when detached.
+struct EngineMetrics {
+  obs::Counter* context_hits = nullptr;    ///< cache hit in context()
+  obs::Counter* context_misses = nullptr;  ///< context built on demand
+  obs::Counter* evaluations = nullptr;     ///< expected_time/predict calls
+};
 
 /// The cached tau-independent invariants for one (system, level-subset)
 /// pair: the effective per-level failure rates, severity shares, and
@@ -76,9 +87,14 @@ class EvaluationEngine {
   /// benchmarks).
   std::size_t cached_contexts() const;
 
+  /// Installs the metric set (copied; pointed-to metrics must outlive the
+  /// engine). Call before sharing the engine across threads.
+  void attach_metrics(const EngineMetrics& metrics) { metrics_ = metrics; }
+
  private:
   systems::SystemConfig system_;
   core::DauweOptions options_;
+  EngineMetrics metrics_;
   mutable std::mutex mutex_;
   /// unique_ptr values keep context addresses stable across rehash-free
   /// map growth, so references handed out stay valid for the engine's

@@ -1,5 +1,6 @@
 #include "engine/scenario.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "core/serialize.h"
@@ -210,17 +211,58 @@ ScenarioSpec ScenarioSpec::load(const std::string& path) {
   return from_json(Json::parse(core::read_file(path)));
 }
 
+ScenarioMetrics::ScenarioMetrics(obs::MetricsRegistry& registry) {
+  engine.context_hits = &registry.counter("engine.context_cache.hits");
+  engine.context_misses = &registry.counter("engine.context_cache.misses");
+  engine.evaluations = &registry.counter("engine.evaluations");
+  optimizer.plans_swept = &registry.counter("optimizer.plans_swept");
+  optimizer.plans_pruned = &registry.counter("optimizer.plans_pruned");
+  optimizer.plans_refined = &registry.counter("optimizer.plans_refined");
+  optimizer.subsets_searched =
+      &registry.counter("optimizer.subsets_searched");
+  sim.trials = &registry.counter("sim.trials");
+  sim.failures = &registry.counter("sim.failures");
+  sim.checkpoints_completed =
+      &registry.counter("sim.checkpoints_completed");
+  sim.restarts_completed = &registry.counter("sim.restarts_completed");
+  sim.restarts_failed = &registry.counter("sim.restarts_failed");
+  sim.scratch_restarts = &registry.counter("sim.scratch_restarts");
+  sim.capped_trials = &registry.counter("sim.capped_trials");
+  sim.trial_time_minutes = &registry.histogram("sim.trial_time_minutes");
+}
+
+util::ThreadPoolMetrics pool_metrics(obs::MetricsRegistry& registry) {
+  util::ThreadPoolMetrics m;
+  m.tasks_run = &registry.counter("pool.tasks_run");
+  m.queue_depth_high_water = &registry.gauge("pool.queue_depth_high_water");
+  m.task_latency_us = &registry.histogram("pool.task_latency_us");
+  return m;
+}
+
 ScenarioOutcome run_scenario(const ScenarioSpec& spec,
-                             util::ThreadPool* pool) {
+                             util::ThreadPool* pool,
+                             obs::MetricsRegistry* metrics) {
   spec.validate();
   ScenarioOutcome outcome;
+
+  // Instrumented copies of the option structs; the wiring lives on this
+  // frame for the duration of the run.
+  std::optional<ScenarioMetrics> wiring;
+  core::OptimizerOptions optimizer_options = spec.optimizer;
+  sim::SimOptions sim_options = spec.sim;
+  if (metrics != nullptr) {
+    wiring.emplace(*metrics);
+    optimizer_options.metrics = &wiring->optimizer;
+    sim_options.metrics = &wiring->sim;
+  }
 
   if (spec.model == "dauwe") {
     // The cached fast path: one engine, contexts shared across the whole
     // sweep and refinement.
-    const EvaluationEngine engine = spec.make_engine();
+    EvaluationEngine engine = spec.make_engine();
+    if (wiring) engine.attach_metrics(wiring->engine);
     const core::OptimizationResult best =
-        engine.optimize(spec.optimizer, pool);
+        engine.optimize(optimizer_options, pool);
     outcome.selected.technique = "Dauwe et al.";
     outcome.selected.plan = best.plan;
     outcome.selected.predicted_time = best.expected_time;
@@ -234,12 +276,12 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
     // Native Poisson source: bit-compatible with pre-scenario seeds.
     outcome.stats =
         sim::run_trials(spec.system, outcome.selected.plan, spec.trials,
-                        spec.seed, spec.sim, pool);
+                        spec.seed, sim_options, pool);
   } else {
     const auto law = spec.distribution.make(spec.system);
     outcome.stats = sim::run_trials_with_distribution(
         spec.system, outcome.selected.plan, *law, spec.trials, spec.seed,
-        spec.sim, pool);
+        sim_options, pool);
   }
   return outcome;
 }

@@ -9,6 +9,7 @@
 #include "core/technique.h"
 #include "engine/evaluation.h"
 #include "math/distribution.h"
+#include "obs/registry.h"
 #include "sim/simulator.h"
 #include "sim/trial_runner.h"
 #include "systems/system_config.h"
@@ -92,12 +93,33 @@ struct ScenarioOutcome {
                                    ///< scenario's failure distribution
 };
 
+/// The standard metric wiring for a scenario run, resolved once against a
+/// registry (every name is listed in docs/OBSERVABILITY.md). The bundle
+/// only holds pointers into @p registry, which must outlive it; pass the
+/// sub-structs to the components they instrument.
+struct ScenarioMetrics {
+  explicit ScenarioMetrics(obs::MetricsRegistry& registry);
+
+  EngineMetrics engine;
+  core::OptimizerMetrics optimizer;
+  sim::SimMetrics sim;
+};
+
+/// The conventional pool metric set ("pool.*"), for callers that own the
+/// ThreadPool (the CLI and bench drivers attach this to theirs).
+util::ThreadPoolMetrics pool_metrics(obs::MetricsRegistry& registry);
+
 /// Runs @p spec end to end: selects a plan (through the cached
 /// EvaluationEngine for the Dauwe model, through the technique registry
 /// otherwise) and validates it with spec.trials simulated runs drawn from
 /// spec.distribution. With the default exponential distribution the
 /// simulation is bit-identical to sim::run_trials on the same seed.
+///
+/// When @p metrics is non-null the run is instrumented under the standard
+/// ScenarioMetrics names; results are bit-identical either way
+/// (instrumentation is observe-only).
 ScenarioOutcome run_scenario(const ScenarioSpec& spec,
-                             util::ThreadPool* pool = nullptr);
+                             util::ThreadPool* pool = nullptr,
+                             obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace mlck::engine

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace mlck::obs {
+
+/// Lock-free metric primitives. These are deliberately dependency-free
+/// (pure std, header-only) so any layer — util included — can hold
+/// pointers to them without creating a library cycle with the registry,
+/// which lives one level up (obs/registry.h) and owns the instances.
+///
+/// Instrumentation contract used across the codebase: every
+/// instrumentation site holds a *pointer* to a primitive that is null by
+/// default. A null pointer means "no registry attached" and the site must
+/// skip recording, so the uninstrumented path costs one predictable
+/// branch and never perturbs results (metrics are observe-only; no
+/// simulation or model arithmetic may read them).
+
+/// Monotonically increasing event count. add() is a single relaxed
+/// fetch_add — safe to call from any thread, including hot loops.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written / high-water value. set() overwrites; set_max() keeps the
+/// maximum ever observed (CAS loop, contention-free in practice since
+/// updates are rare compared to reads of the final value).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  void set_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-layout histogram of non-negative samples: power-of-two buckets
+/// (bucket i counts samples in (2^(i-1), 2^i]; bucket 0 catches
+/// everything <= 1) plus exact count/sum/min/max. All updates are relaxed
+/// atomics, so concurrent record() calls never lock; totals are exact,
+/// the min/max pair is exact, and bucket placement is deterministic for a
+/// given value.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double value) noexcept {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(sum_, value);
+    atomic_min(min_, value);
+    atomic_max(max_, value);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// +inf / -inf respectively when no sample was recorded.
+  double min() const noexcept { return min_.load(std::memory_order_relaxed); }
+  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket @p i (2^i; the last bucket is
+  /// unbounded and reports +inf).
+  static double bucket_upper_bound(std::size_t i) noexcept {
+    if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+    return std::ldexp(1.0, static_cast<int>(i));
+  }
+
+  static std::size_t bucket_index(double value) noexcept {
+    if (!(value > 1.0)) return 0;  // <= 1, negative, and NaN
+    const int e = std::ilogb(value);
+    // value in (2^(e), 2^(e+1)] maps to bucket e+1, except exact powers
+    // of two which ilogb already places at their own exponent.
+    const std::size_t i = static_cast<std::size_t>(e) +
+                          (value > std::ldexp(1.0, e) ? 1u : 0u);
+    return i < kBuckets ? i : kBuckets - 1;
+  }
+
+ private:
+  static void atomic_add(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_min(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// RAII wall-clock timer recording elapsed microseconds into a Histogram
+/// on destruction. Null-safe: with histogram == nullptr neither the clock
+/// is read nor anything recorded.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) noexcept
+      : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      histogram_->record(
+          std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace mlck::obs

@@ -1,0 +1,120 @@
+#include "obs/registry.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace mlck::obs {
+
+void MetricsRegistry::claim_name(const std::string& name, Kind kind) {
+  const auto [it, inserted] = kinds_.emplace(name, kind);
+  if (!inserted && it->second != kind) {
+    throw std::invalid_argument("MetricsRegistry: \"" + name +
+                                "\" already registered as a different kind");
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  claim_name(name, Kind::kCounter);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  claim_name(name, Kind::kGauge);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  claim_name(name, Kind::kHistogram);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+util::Json MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  util::Json::Object doc;
+  if (!counters_.empty()) {
+    util::Json::Object section;
+    for (const auto& [name, c] : counters_) {
+      section[name] = util::Json(static_cast<double>(c->value()));
+    }
+    doc["counters"] = util::Json(std::move(section));
+  }
+  if (!gauges_.empty()) {
+    util::Json::Object section;
+    for (const auto& [name, g] : gauges_) {
+      section[name] = util::Json(g->value());
+    }
+    doc["gauges"] = util::Json(std::move(section));
+  }
+  if (!histograms_.empty()) {
+    util::Json::Object section;
+    for (const auto& [name, h] : histograms_) {
+      util::Json::Object entry;
+      const std::uint64_t n = h->count();
+      entry["count"] = util::Json(static_cast<double>(n));
+      entry["sum"] = util::Json(h->sum());
+      entry["mean"] = util::Json(h->mean());
+      if (n > 0) {
+        entry["min"] = util::Json(h->min());
+        entry["max"] = util::Json(h->max());
+      }
+      util::Json::Array buckets;
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        const std::uint64_t in_bucket = h->bucket_count(i);
+        if (in_bucket == 0) continue;
+        util::Json::Object bucket;
+        const double le = Histogram::bucket_upper_bound(i);
+        // JSON has no infinity literal; the open-ended last bucket is
+        // marked with null instead.
+        bucket["le"] = std::isfinite(le) ? util::Json(le) : util::Json();
+        bucket["count"] = util::Json(static_cast<double>(in_bucket));
+        buckets.emplace_back(std::move(bucket));
+      }
+      entry["buckets"] = util::Json(std::move(buckets));
+      section[name] = util::Json(std::move(entry));
+    }
+    doc["histograms"] = util::Json(std::move(section));
+  }
+  return util::Json(std::move(doc));
+}
+
+void MetricsRegistry::print(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  if (!counters_.empty()) {
+    util::Table table({"counter", "value"});
+    for (const auto& [name, c] : counters_) {
+      table.add_row({name, std::to_string(c->value())});
+    }
+    table.print(out);
+  }
+  if (!gauges_.empty()) {
+    util::Table table({"gauge", "value"});
+    for (const auto& [name, g] : gauges_) {
+      table.add_row({name, util::Table::num(g->value(), 3)});
+    }
+    table.print(out);
+  }
+  if (!histograms_.empty()) {
+    util::Table table({"histogram", "count", "mean", "min", "max"});
+    for (const auto& [name, h] : histograms_) {
+      const bool any = h->count() > 0;
+      table.add_row({name, std::to_string(h->count()),
+                     util::Table::num(h->mean(), 3),
+                     any ? util::Table::num(h->min(), 3) : "-",
+                     any ? util::Table::num(h->max(), 3) : "-"});
+    }
+    table.print(out);
+  }
+}
+
+}  // namespace mlck::obs

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace mlck::obs {
+
+/// Thread-safe, name-keyed store of metric instances. Lookup/creation is
+/// serialized on a mutex; the returned references stay valid for the
+/// registry's lifetime (values are heap-allocated), so callers resolve a
+/// metric once up front and then update it through the lock-free
+/// primitive — the registry itself is never on a hot path.
+///
+/// Names are dot-separated by convention ("engine.context_cache.hits");
+/// docs/OBSERVABILITY.md lists every name emitted by the stack. A name
+/// identifies exactly one metric kind: asking for "x" as a counter after
+/// it was created as a gauge throws std::invalid_argument.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The metric named @p name, created on first use.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Snapshot of every metric as one JSON document:
+  ///   { "counters":   { name: count, ... },
+  ///     "gauges":     { name: value, ... },
+  ///     "histograms": { name: { "count", "sum", "mean", "min", "max",
+  ///                             "buckets": [ { "le", "count" }, ... ] } } }
+  /// Only non-empty sections and non-zero histogram buckets are emitted;
+  /// key order is deterministic (sorted), so sidecars diff cleanly.
+  util::Json to_json() const;
+
+  /// Human-readable dump: one table per metric kind.
+  void print(std::ostream& out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  void claim_name(const std::string& name, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Kind> kinds_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mlck::obs

@@ -50,6 +50,13 @@ class Runner {
       const Phase ph = run_phase(target - work_, TraceEvent::Kind::kCompute,
                                  /*level=*/-1);
       compute_time_ += ph.elapsed;
+      if (truncated_by_cap(ph)) {
+        // The partial segment was real computation, merely never
+        // checkpointed; counting it useful keeps the accounting identity
+        // and the efficiency metric consistent for capped trials.
+        work_ += ph.elapsed;
+        break;
+      }
       if (!ph.completed) {
         handle_failure(ph.severity, Cause::kCompute, ph.elapsed);
         continue;
@@ -82,6 +89,12 @@ class Runner {
     int severity = -1;
   };
 
+  /// True when run_phase cut the phase short at the time cap (no failure
+  /// involved; capped_ is already set).
+  static bool truncated_by_cap(const Phase& ph) noexcept {
+    return !ph.completed && ph.severity < 0;
+  }
+
   struct CheckpointSlot {
     double work = 0.0;
     bool valid = false;
@@ -102,12 +115,23 @@ class Runner {
   }
 
   /// Runs an interruptible phase of the given duration, recording a trace
-  /// event when tracing is enabled.
+  /// event when tracing is enabled. The phase is clamped at the time cap:
+  /// whatever would have ended past cap_ — the phase itself or the
+  /// failure that interrupts it — is truncated there instead, so now_
+  /// (and hence total_time) never exceeds the cap.
   Phase run_phase(double duration, TraceEvent::Kind kind, int level) {
     Phase ph;
     const double start = now_;
-    if (now_ + duration <= next_failure_) {
-      now_ += duration;
+    const double phase_end = now_ + duration;
+    const bool fails = phase_end > next_failure_;
+    if (const double end = fails ? next_failure_ : phase_end; end > cap_) {
+      capped_ = true;
+      ph.completed = false;
+      ph.elapsed = cap_ - now_;
+      ph.severity = -1;  // truncated by the cap, not by a failure
+      now_ = cap_;
+    } else if (!fails) {
+      now_ = phase_end;
       ph = Phase{true, duration, -1};
     } else {
       ph.completed = false;
@@ -132,6 +156,12 @@ class Runner {
         sys_.checkpoint_cost[static_cast<std::size_t>(system_level(h))];
     const Phase ph =
         run_phase(cost, TraceEvent::Kind::kCheckpoint, system_level(h));
+    if (truncated_by_cap(ph)) {
+      // Attempt cut short by the cap: its time is a checkpoint attempt
+      // that never paid off, same bucket as a failure-interrupted one.
+      result_.breakdown.checkpoint_failed += ph.elapsed;
+      return false;
+    }
     if (ph.completed) {
       result_.breakdown.checkpoint_ok += cost;
       ++result_.checkpoints_completed;
@@ -228,6 +258,12 @@ class Runner {
       const double cost =
           sys_.restart_cost[static_cast<std::size_t>(e_level)];
       const Phase ph = run_phase(cost, TraceEvent::Kind::kRestart, e_level);
+      if (truncated_by_cap(ph)) {
+        // Time attribution only; this was not a failed restart event, so
+        // the restarts_failed counter is untouched.
+        result_.breakdown.restart_failed += ph.elapsed;
+        return;
+      }
       if (ph.completed) {
         result_.breakdown.restart_ok += cost;
         ++result_.restarts_completed;

@@ -5,11 +5,29 @@
 #include "core/adaptive.h"
 #include "core/interval_schedule.h"
 #include "core/plan.h"
+#include "obs/metrics.h"
 #include "sim/accounting.h"
 #include "sim/failure_source.h"
 #include "systems/system_config.h"
 
 namespace mlck::sim {
+
+/// Optional Monte-Carlo observability, recorded serially by the trial
+/// runner's aggregation loop (never inside the per-trial state machine,
+/// so simulation results are bit-identical with or without it). Null
+/// members are skipped.
+struct SimMetrics {
+  obs::Counter* trials = nullptr;
+  obs::Counter* failures = nullptr;
+  obs::Counter* checkpoints_completed = nullptr;
+  obs::Counter* restarts_completed = nullptr;
+  obs::Counter* restarts_failed = nullptr;
+  obs::Counter* scratch_restarts = nullptr;
+  obs::Counter* capped_trials = nullptr;
+  /// Simulated wall-clock minutes per trial (deterministic, unlike host
+  /// wall time — see pool.task_latency_us for the latter).
+  obs::Histogram* trial_time_minutes = nullptr;
+};
 
 /// How the simulated system reacts to a failure that strikes *during a
 /// restart* (the semantics the paper identifies as the key modeling
@@ -57,11 +75,22 @@ struct SimOptions {
   /// Wall-clock cap as a multiple of the application base time; a trial
   /// that has not completed by then is reported with capped = true (its
   /// efficiency metric remains meaningful: useful work over elapsed time).
+  /// The cap is a hard bound: a phase in flight when the cap strikes is
+  /// truncated at exactly max_time_factor * base_time, so total_time
+  /// never exceeds the cap. A truncated phase appears in the trace as
+  /// completed = false with failure_severity = -1 (no failure occurred);
+  /// its elapsed time is attributed to the breakdown as useful work for
+  /// computation (the work was performed, merely never checkpointed) and
+  /// to the corresponding failed-attempt bucket for checkpoints/restarts.
   double max_time_factor = 2000.0;
 
   /// When non-null, every phase is appended here as a TraceEvent.
   /// Non-owning; must outlive the simulate() call.
   std::vector<TraceEvent>* trace = nullptr;
+
+  /// Observe-only Monte-Carlo counters (docs/OBSERVABILITY.md). Non-owning;
+  /// ignored by JSON (de)serialization, never read by the simulation.
+  SimMetrics* metrics = nullptr;
 };
 
 /// Event-driven simulation of one application run under multilevel

@@ -12,8 +12,10 @@ namespace {
 
 /// Shared Monte-Carlo skeleton: @p run_one executes trial k with its own
 /// derived RNG stream; aggregation is serial and deterministic.
+/// @p metrics (from SimOptions) is recorded here, after the parallel
+/// phase, so instrumentation never touches the trial state machines.
 TrialStats aggregate_trials(
-    std::size_t trials, util::ThreadPool* pool,
+    std::size_t trials, util::ThreadPool* pool, const SimMetrics* metrics,
     const std::function<TrialResult(std::size_t)>& run_one) {
   std::vector<TrialResult> results(trials);
   util::parallel_for(pool, trials,
@@ -27,13 +29,36 @@ TrialStats aggregate_trials(
   std::vector<double> efficiencies;
   efficiencies.reserve(trials);
   double failures_total = 0.0;
+  long long checkpoints_total = 0;
+  long long restarts_ok_total = 0;
+  long long restarts_failed_total = 0;
+  long long scratch_total = 0;
   for (const TrialResult& r : results) {
     eff.add(r.efficiency());
     efficiencies.push_back(r.efficiency());
     time.add(r.total_time);
     sum += r.breakdown;
     failures_total += static_cast<double>(r.failures);
+    checkpoints_total += r.checkpoints_completed;
+    restarts_ok_total += r.restarts_completed;
+    restarts_failed_total += r.restarts_failed;
+    scratch_total += r.scratch_restarts;
     if (r.capped) ++stats.capped_trials;
+    if (metrics != nullptr && metrics->trial_time_minutes != nullptr) {
+      metrics->trial_time_minutes->record(r.total_time);
+    }
+  }
+  if (metrics != nullptr) {
+    const auto bump = [](obs::Counter* c, auto n) {
+      if (c != nullptr && n > 0) c->add(static_cast<std::uint64_t>(n));
+    };
+    bump(metrics->trials, trials);
+    bump(metrics->failures, static_cast<long long>(failures_total));
+    bump(metrics->checkpoints_completed, checkpoints_total);
+    bump(metrics->restarts_completed, restarts_ok_total);
+    bump(metrics->restarts_failed, restarts_failed_total);
+    bump(metrics->scratch_restarts, scratch_total);
+    bump(metrics->capped_trials, stats.capped_trials);
   }
   stats.efficiency = stats::summarize(eff);
   stats.efficiency_quantiles = stats::summary_quantiles(efficiencies);
@@ -62,7 +87,7 @@ TrialStats run_trials(const systems::SystemConfig& system,
                       const core::CheckpointPlan& plan, std::size_t trials,
                       std::uint64_t seed, const SimOptions& options,
                       util::ThreadPool* pool) {
-  return aggregate_trials(trials, pool, [&](std::size_t k) {
+  return aggregate_trials(trials, pool, options.metrics, [&](std::size_t k) {
     RandomFailureSource failures(
         system, util::Rng(util::derive_stream_seed(seed, k)));
     return simulate(system, plan, failures, options);
@@ -73,7 +98,7 @@ TrialStats run_trials(const systems::SystemConfig& system,
                       const core::IntervalSchedule& schedule,
                       std::size_t trials, std::uint64_t seed,
                       const SimOptions& options, util::ThreadPool* pool) {
-  return aggregate_trials(trials, pool, [&](std::size_t k) {
+  return aggregate_trials(trials, pool, options.metrics, [&](std::size_t k) {
     RandomFailureSource failures(
         system, util::Rng(util::derive_stream_seed(seed, k)));
     return simulate(system, schedule, failures, options);
@@ -84,7 +109,7 @@ TrialStats run_trials(const systems::SystemConfig& system,
                       const core::AdaptiveSchedule& schedule,
                       std::size_t trials, std::uint64_t seed,
                       const SimOptions& options, util::ThreadPool* pool) {
-  return aggregate_trials(trials, pool, [&](std::size_t k) {
+  return aggregate_trials(trials, pool, options.metrics, [&](std::size_t k) {
     RandomFailureSource failures(
         system, util::Rng(util::derive_stream_seed(seed, k)));
     return simulate(system, schedule, failures, options);
@@ -95,7 +120,7 @@ TrialStats run_trials_with_distribution(
     const systems::SystemConfig& system, const core::CheckpointPlan& plan,
     const math::FailureDistribution& interarrival, std::size_t trials,
     std::uint64_t seed, const SimOptions& options, util::ThreadPool* pool) {
-  return aggregate_trials(trials, pool, [&](std::size_t k) {
+  return aggregate_trials(trials, pool, options.metrics, [&](std::size_t k) {
     RenewalFailureSource failures(
         system, interarrival, util::Rng(util::derive_stream_seed(seed, k)));
     return simulate(system, plan, failures, options);

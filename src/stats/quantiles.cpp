@@ -2,13 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace mlck::stats {
 
 namespace {
 
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// @p sample without its NaN values, sorted (infinities order fine).
+/// NaN must never reach the sort: std::sort on a range containing NaN
+/// violates strict weak ordering (undefined behaviour, garbage
+/// quantiles).
+std::vector<double> sorted_without_nan(std::span<const double> sample) {
+  std::vector<double> sorted;
+  sorted.reserve(sample.size());
+  for (const double v : sample) {
+    if (!std::isnan(v)) sorted.push_back(v);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
 double quantile_of_sorted(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
+  if (sorted.empty()) return kNaN;
   if (q <= 0.0) return sorted.front();
   if (q >= 1.0) return sorted.back();
   const double position = q * static_cast<double>(sorted.size() - 1);
@@ -21,14 +38,11 @@ double quantile_of_sorted(const std::vector<double>& sorted, double q) {
 }  // namespace
 
 double quantile(std::span<const double> sample, double q) {
-  std::vector<double> sorted(sample.begin(), sample.end());
-  std::sort(sorted.begin(), sorted.end());
-  return quantile_of_sorted(sorted, q);
+  return quantile_of_sorted(sorted_without_nan(sample), q);
 }
 
 Quantiles summary_quantiles(std::span<const double> sample) {
-  std::vector<double> sorted(sample.begin(), sample.end());
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double> sorted = sorted_without_nan(sample);
   Quantiles out;
   out.p05 = quantile_of_sorted(sorted, 0.05);
   out.p25 = quantile_of_sorted(sorted, 0.25);

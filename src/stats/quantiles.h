@@ -17,10 +17,17 @@ struct Quantiles {
 };
 
 /// Linear-interpolation quantile (type-7, the R/NumPy default) of an
-/// unsorted sample. @p q in [0, 1]. Returns 0 for an empty sample.
+/// unsorted sample. @p q in [0, 1] (clamped outside).
+///
+/// NaN handling: NaN samples are ignored — they carry no order
+/// information and sorting them is undefined behaviour, so they are
+/// filtered before the sort. Convention for an empty sample (or one that
+/// is all NaN): the quantile is quiet NaN — "no data" propagates rather
+/// than masquerading as 0.
 double quantile(std::span<const double> sample, double q);
 
 /// The five standard summary quantiles in one pass (sorts a copy once).
+/// Same NaN/empty convention as quantile().
 Quantiles summary_quantiles(std::span<const double> sample);
 
 }  // namespace mlck::stats

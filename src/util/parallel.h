@@ -14,6 +14,11 @@ namespace mlck::util {
 /// in index order; results must therefore not depend on execution order
 /// (each index writes only its own slot of any shared output). The chunked
 /// schedule is deterministic for a fixed pool size.
+///
+/// A body that throws is propagated to the caller on every path: directly
+/// on the sequential path, and rethrown from the pool's wait_idle() on the
+/// parallel path (remaining chunks still run, so untouched slots are
+/// still filled; the pool stays usable).
 void parallel_for(ThreadPool* pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

@@ -28,6 +28,10 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
+    if (metrics_.queue_depth_high_water != nullptr) {
+      metrics_.queue_depth_high_water->set_max(
+          static_cast<double>(queue_.size()));
+    }
   }
   work_available_.notify_one();
 }
@@ -35,11 +39,22 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr error;
+    std::swap(error, first_exception_);
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::attach_metrics(const ThreadPoolMetrics& metrics) {
+  std::lock_guard lock(mutex_);
+  metrics_ = metrics;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    ThreadPoolMetrics metrics;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(lock,
@@ -48,11 +63,26 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      metrics = metrics_;
     }
-    task();
+    std::exception_ptr error;
+    {
+      obs::ScopedTimer timer(metrics.task_latency_us);
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    if (error == nullptr && metrics.tasks_run != nullptr) {
+      metrics.tasks_run->add();
+    }
     {
       std::lock_guard lock(mutex_);
       --active_;
+      if (error != nullptr && first_exception_ == nullptr) {
+        first_exception_ = error;
+      }
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }
   }

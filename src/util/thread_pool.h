@@ -3,19 +3,36 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace mlck::util {
+
+/// Optional instrumentation for a ThreadPool. Null members are skipped;
+/// attach_metrics() installs the set before work is submitted.
+struct ThreadPoolMetrics {
+  obs::Counter* tasks_run = nullptr;  ///< tasks executed to completion
+  /// Deepest queue ever observed at submit time (high-water mark).
+  obs::Gauge* queue_depth_high_water = nullptr;
+  obs::Histogram* task_latency_us = nullptr;  ///< per-task wall time, µs
+};
 
 /// Fixed-size worker pool executing void() tasks.
 ///
-/// The pool is deliberately minimal: tasks may not throw (exceptions
-/// escaping a task terminate, per CP rules on unhandled thread exceptions),
-/// and completion is observed either through wait_idle() or through state
-/// the task itself publishes. Higher-level helpers (parallel_for) build
+/// Exception safety: a task that throws does not take the process down.
+/// The first exception is captured; the pool keeps draining the remaining
+/// tasks (so deterministic fan-outs still produce every other slot) and
+/// the captured exception is rethrown from the next wait_idle() call,
+/// after which the pool is reusable. Exceptions raised by tasks that are
+/// never waited on are dropped when the pool is destroyed.
+///
+/// Completion is observed either through wait_idle() or through state the
+/// task itself publishes. Higher-level helpers (parallel_for) build
 /// deterministic, data-race-free patterns on top.
 class ThreadPool {
  public:
@@ -32,8 +49,14 @@ class ThreadPool {
   /// Enqueues a task for execution. Thread-safe.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Blocks until the queue is empty and no task is running. If any task
+  /// threw since the previous wait_idle(), rethrows the first such
+  /// exception (and clears it, leaving the pool usable).
   void wait_idle();
+
+  /// Installs the metric set. Call before submitting work; the pool
+  /// copies the pointers, which must outlive it.
+  void attach_metrics(const ThreadPoolMetrics& metrics);
 
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }
@@ -47,6 +70,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_exception_;  ///< guarded by mutex_
+  ThreadPoolMetrics metrics_;           ///< written under mutex_
   std::vector<std::thread> workers_;
 };
 

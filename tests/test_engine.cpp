@@ -17,11 +17,14 @@
 #include "core/dauwe_kernel.h"
 #include "core/dauwe_model.h"
 #include "core/optimizer.h"
+#include "core/serialize.h"
 #include "engine/evaluation.h"
 #include "engine/scenario.h"
+#include "obs/registry.h"
 #include "sim/trial_runner.h"
 #include "systems/test_systems.h"
 #include "util/json.h"
+#include "util/thread_pool.h"
 
 namespace mlck::engine {
 namespace {
@@ -320,6 +323,69 @@ TEST(RunScenario, UnknownModelThrows) {
   spec.system = systems::table1_system("D5");
   spec.model = "nonesuch";
   EXPECT_THROW(run_scenario(spec), std::out_of_range);
+}
+
+TEST(RunScenario, MetricsAttachmentDoesNotPerturbResults) {
+  // The observability wiring is observe-only: with a registry attached
+  // the scenario outcome stays bit-identical to the bare run.
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D5");
+  spec.trials = 40;
+  spec.seed = 3;
+  const auto bare = run_scenario(spec);
+
+  obs::MetricsRegistry registry;
+  util::ThreadPool pool(4);
+  pool.attach_metrics(pool_metrics(registry));
+  const auto metered = run_scenario(spec, &pool, &registry);
+  EXPECT_EQ(bare.selected.plan.tau0, metered.selected.plan.tau0);
+  EXPECT_EQ(bare.selected.plan.counts, metered.selected.plan.counts);
+  EXPECT_EQ(bare.selected.predicted_time, metered.selected.predicted_time);
+  EXPECT_EQ(bare.stats.efficiency.mean, metered.stats.efficiency.mean);
+  EXPECT_EQ(bare.stats.efficiency.stddev, metered.stats.efficiency.stddev);
+  EXPECT_EQ(bare.stats.total_time.mean, metered.stats.total_time.mean);
+
+  // ...while every instrumented layer actually counted something.
+  EXPECT_GT(registry.counter("engine.context_cache.misses").value(), 0u);
+  EXPECT_GT(registry.counter("engine.evaluations").value(), 0u);
+  EXPECT_GT(registry.counter("optimizer.plans_swept").value(), 0u);
+  EXPECT_EQ(registry.counter("sim.trials").value(), 40u);
+  EXPECT_GT(registry.counter("pool.tasks_run").value(), 0u);
+  EXPECT_EQ(registry.histogram("sim.trial_time_minutes").count(), 40u);
+}
+
+TEST(ScenarioCli, MetricsSidecarHasNonZeroCounters) {
+  const std::string spec_path =
+      ::testing::TempDir() + "mlck_metrics_spec.json";
+  const std::string path = ::testing::TempDir() + "mlck_metrics.json";
+  std::ostringstream emit_out, emit_err;
+  ASSERT_EQ(app::run_command(
+                {"scenario", "--system=D5", "--emit-spec=" + spec_path},
+                emit_out, emit_err),
+            0)
+      << emit_err.str();
+  std::ostringstream out, err;
+  ASSERT_EQ(app::run_command({"scenario", "--spec=" + spec_path,
+                              "--trials=20", "--seed=7",
+                              "--metrics=" + path},
+                             out, err),
+            0)
+      << err.str();
+  const util::Json doc = util::Json::parse(core::read_file(path));
+  const auto& counters = doc.at("counters");
+  EXPECT_GT(counters.at("engine.context_cache.misses").as_number(), 0.0);
+  EXPECT_GT(counters.at("engine.evaluations").as_number(), 0.0);
+  EXPECT_GT(counters.at("optimizer.plans_swept").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(counters.at("sim.trials").as_number(), 20.0);
+  EXPECT_GT(counters.at("pool.tasks_run").as_number(), 0.0);
+  EXPECT_GT(doc.at("histograms")
+                .at("sim.trial_time_minutes")
+                .at("count")
+                .as_number(),
+            0.0);
+  // The run itself still prints the normal report.
+  EXPECT_NE(out.str().find("efficiency"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(ScenarioCli, EmitSpecThenRunRoundTrip) {

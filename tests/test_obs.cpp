@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/registry.h"
+
+namespace mlck::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetOverwritesSetMaxKeepsHighWater) {
+  Gauge g;
+  g.set(5.0);
+  g.set(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(7.0);
+  g.set_max(2.0);  // below the high-water mark: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Histogram, ExactTotalsAndEmptyDefaults) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.max(), -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.record(2.0);
+  h.record(10.0);
+  h.record(0.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_NEAR(h.mean(), 12.5 / 3.0, 1e-12);
+}
+
+TEST(Histogram, PowerOfTwoBucketPlacement) {
+  // Bucket i covers (2^(i-1), 2^i]; bucket 0 catches <= 1 (and junk).
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-3.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(
+                std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  EXPECT_EQ(Histogram::bucket_index(1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1.5), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 1u);  // exact powers inclusive
+  EXPECT_EQ(Histogram::bucket_index(2.0001), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4.0), 2u);
+  EXPECT_EQ(Histogram::bucket_index(1024.0), 10u);
+  // Huge values saturate into the open-ended last bucket.
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(
+                std::numeric_limits<double>::infinity()),
+            Histogram::kBuckets - 1);
+  // Upper bounds line up with the placement rule.
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_bound(10), 1024.0);
+  EXPECT_EQ(Histogram::bucket_upper_bound(Histogram::kBuckets - 1),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ScopedTimer, NullHistogramIsANoop) {
+  { ScopedTimer t(nullptr); }  // must not crash or record anything
+  Histogram h;
+  { ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+}
+
+TEST(MetricsRegistry, CreateOnFirstUseReturnsStableInstances) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.hits");
+  a.add(3);
+  Counter& b = reg.counter("x.hits");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, NameKindCollisionThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x"), std::invalid_argument);
+  reg.gauge("y");
+  EXPECT_THROW(reg.counter("y"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, JsonSnapshotShape) {
+  MetricsRegistry reg;
+  reg.counter("sim.trials").add(8);
+  reg.gauge("pool.queue_depth_high_water").set(5.0);
+  reg.histogram("sim.trial_time_minutes").record(3.0);
+  reg.histogram("sim.trial_time_minutes").record(100.0);
+
+  const util::Json doc = reg.to_json();
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("sim.trials").as_number(), 8.0);
+  EXPECT_DOUBLE_EQ(
+      doc.at("gauges").at("pool.queue_depth_high_water").as_number(), 5.0);
+  const util::Json& h =
+      doc.at("histograms").at("sim.trial_time_minutes");
+  EXPECT_DOUBLE_EQ(h.at("count").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(h.at("sum").as_number(), 103.0);
+  EXPECT_DOUBLE_EQ(h.at("min").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(h.at("max").as_number(), 100.0);
+  // Only non-zero buckets are emitted: 3.0 -> bucket le=4, 100 -> le=128.
+  const auto& buckets = h.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].at("le").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(buckets[0].at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].at("le").as_number(), 128.0);
+
+  // Round-trips through the parser (valid JSON text).
+  EXPECT_NO_THROW(util::Json::parse(doc.dump(2)));
+}
+
+TEST(MetricsRegistry, EmptyRegistryEmitsEmptyObject) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.to_json().dump(), "{}");
+}
+
+TEST(MetricsRegistry, PrintRendersTables) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(7);
+  reg.gauge("b.depth").set(2.0);
+  std::ostringstream os;
+  reg.print(os);
+  EXPECT_NE(os.str().find("a.count"), std::string::npos);
+  EXPECT_NE(os.str().find("b.depth"), std::string::npos);
+  EXPECT_NE(os.str().find("7"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesAreExact) {
+  // Stress the lock-free primitives and concurrent create-on-first-use
+  // from many threads; totals must come out exact (run under the asan
+  // preset this also exercises the thread-safety of the registry maps).
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      Counter& hits = reg.counter("stress.hits");
+      Histogram& lat = reg.histogram("stress.latency");
+      Gauge& depth = reg.gauge("stress.depth");
+      for (int i = 0; i < kPerThread; ++i) {
+        hits.add();
+        lat.record(static_cast<double>(i % 7) + 0.5);
+        depth.set_max(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("stress.hits").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const Histogram& lat = reg.histogram("stress.latency");
+  EXPECT_EQ(lat.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(lat.min(), 0.5);
+  EXPECT_DOUBLE_EQ(lat.max(), 6.5);
+  // Sum of (i % 7 + 0.5) over each thread's kPerThread iterations.
+  double per_thread = 0.0;
+  for (int i = 0; i < kPerThread; ++i) per_thread += i % 7 + 0.5;
+  EXPECT_DOUBLE_EQ(lat.sum(), per_thread * kThreads);
+  EXPECT_DOUBLE_EQ(reg.gauge("stress.depth").value(),
+                   static_cast<double>(kThreads * kPerThread - 1));
+}
+
+}  // namespace
+}  // namespace mlck::obs

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/quantiles.h"
@@ -8,8 +10,32 @@
 namespace mlck::stats {
 namespace {
 
-TEST(Quantile, EmptySampleIsZero) {
-  EXPECT_EQ(quantile({}, 0.5), 0.0);
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(Quantile, EmptySampleIsNaN) {
+  // "No data" propagates as NaN instead of masquerading as 0.
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+  const Quantiles q = summary_quantiles({});
+  EXPECT_TRUE(std::isnan(q.p05));
+  EXPECT_TRUE(std::isnan(q.median));
+  EXPECT_TRUE(std::isnan(q.p95));
+}
+
+TEST(Quantile, NanSamplesAreIgnored) {
+  // NaN carries no order information; sorting it is UB, so it is
+  // filtered out and the quantiles come from the finite values alone.
+  const std::vector<double> xs{kNaN, 4.0, 1.0, kNaN, 3.0, 2.0, kNaN};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  const Quantiles q = summary_quantiles(xs);
+  EXPECT_DOUBLE_EQ(q.median, 2.5);
+}
+
+TEST(Quantile, AllNanSampleIsNaN) {
+  const std::vector<double> xs{kNaN, kNaN, kNaN};
+  EXPECT_TRUE(std::isnan(quantile(xs, 0.5)));
+  EXPECT_TRUE(std::isnan(summary_quantiles(xs).median));
 }
 
 TEST(Quantile, SingleElement) {

@@ -223,6 +223,62 @@ TEST(Simulator, HopelessSystemHitsTheTimeCap) {
   EXPECT_LT(r.efficiency(), 0.05);
 }
 
+TEST(Simulator, CappedTrialClampsAtExactlyTheCap) {
+  // Regression: the cap used to be checked only between phases, so a
+  // capped trial could overshoot by up to one phase (or one failure gap).
+  auto sys = systems::SystemConfig::from_table_row(
+      "doom", 1, 0.1, {1.0}, {10.0}, 100.0);
+  const auto plan = CheckpointPlan::single_level(1.0, 0);
+  SimOptions opts;
+  opts.max_time_factor = 10.0;
+  const double cap = opts.max_time_factor * sys.base_time;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    RandomFailureSource src(sys,
+                            util::Rng(util::derive_stream_seed(9, seed)));
+    const TrialResult r = simulate(sys, plan, src, opts);
+    ASSERT_TRUE(r.capped);
+    EXPECT_DOUBLE_EQ(r.total_time, cap);
+    expect_accounting_consistent(r);
+  }
+}
+
+TEST(Simulator, CapTruncationAttributionIsDeterministic) {
+  // Toy system, cap mid-way through the second compute interval: the
+  // truncated segment counts as useful work (it was performed and never
+  // lost), and the clock stops exactly at the cap.
+  auto sys = toy_system();
+  const auto plan = toy_plan();
+  SimOptions opts;
+  opts.max_time_factor = 7.5 / sys.base_time;  // cap at t = 7.5
+  ScriptedFailureSource src({});
+  const TrialResult r = simulate(sys, plan, src, opts);
+  EXPECT_TRUE(r.capped);
+  EXPECT_DOUBLE_EQ(r.total_time, 7.5);
+  // [0,5) compute, [5,6) level-1 checkpoint, [6,7.5) truncated compute.
+  EXPECT_DOUBLE_EQ(r.breakdown.useful, 6.5);
+  EXPECT_DOUBLE_EQ(r.breakdown.checkpoint_ok, 1.0);
+  EXPECT_EQ(r.failures, 0);  // truncation is not a failure event
+  expect_accounting_consistent(r);
+}
+
+TEST(Simulator, CapDuringCheckpointChargesTheFailedBucket) {
+  // Cap at t = 5.5, halfway through the first checkpoint: the truncated
+  // checkpoint time goes to checkpoint_failed without counting a failure.
+  auto sys = toy_system();
+  const auto plan = toy_plan();
+  SimOptions opts;
+  opts.max_time_factor = 5.5 / sys.base_time;
+  ScriptedFailureSource src({});
+  const TrialResult r = simulate(sys, plan, src, opts);
+  EXPECT_TRUE(r.capped);
+  EXPECT_DOUBLE_EQ(r.total_time, 5.5);
+  EXPECT_DOUBLE_EQ(r.breakdown.useful, 5.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.checkpoint_failed, 0.5);
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_EQ(r.checkpoints_completed, 0);
+  expect_accounting_consistent(r);
+}
+
 TEST(Simulator, RandomRunAccountingAlwaysBalances) {
   const auto sys = systems::table1_system("D4");
   const auto plan = CheckpointPlan::full_hierarchy(2.0, {4});

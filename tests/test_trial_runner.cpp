@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "sim/trial_runner.h"
 #include "systems/test_systems.h"
@@ -69,6 +70,39 @@ TEST(TrialRunner, CapsHopelessRuns) {
   const TrialStats stats = run_trials(sys, plan, 8, 3, opts);
   EXPECT_EQ(stats.capped_trials, 8u);
   EXPECT_LT(stats.efficiency.mean, 0.05);
+}
+
+TEST(TrialRunner, NoCappedTrialExceedsTheCap) {
+  // Regression: capped trials used to overshoot the cap by up to one
+  // phase; total_time must now respect max_time_factor * base_time.
+  const auto sys = systems::SystemConfig::from_table_row(
+      "doom", 1, 0.05, {1.0}, {20.0}, 50.0);
+  const auto plan = CheckpointPlan::single_level(1.0, 0);
+  SimOptions opts;
+  opts.max_time_factor = 20.0;
+  const double cap = opts.max_time_factor * sys.base_time;
+  const TrialStats stats = run_trials(sys, plan, 64, 3, opts);
+  EXPECT_EQ(stats.capped_trials, 64u);
+  // All trials capped => every per-trial total_time is exactly the cap.
+  EXPECT_DOUBLE_EQ(stats.total_time.max, cap);
+  EXPECT_DOUBLE_EQ(stats.total_time.min, cap);
+}
+
+TEST(TrialRunner, ThrowingTrialBodySurfacesAsException) {
+  // Regression: an exception inside a pooled trial used to escape the
+  // worker thread and call std::terminate. plan.validate() runs inside
+  // each trial, so an invalid plan exercises exactly that path.
+  const auto sys = systems::table1_system("D2");
+  CheckpointPlan bad = CheckpointPlan::full_hierarchy(3.0, {4});
+  bad.tau0 = -1.0;  // validate() throws std::invalid_argument
+  util::ThreadPool pool(4);
+  EXPECT_THROW(run_trials(sys, bad, 16, 1, {}, &pool),
+               std::invalid_argument);
+  // The pool survived; a well-formed batch still runs on it.
+  const auto plan = CheckpointPlan::full_hierarchy(3.0, {4});
+  const TrialStats pooled = run_trials(sys, plan, 16, 1, {}, &pool);
+  const TrialStats serial = run_trials(sys, plan, 16, 1, {}, nullptr);
+  EXPECT_DOUBLE_EQ(pooled.efficiency.mean, serial.efficiency.mean);
 }
 
 TEST(TrialRunner, EfficiencyVarianceShrinksForEasierSystems) {

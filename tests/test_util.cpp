@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "util/cli.h"
@@ -109,6 +110,36 @@ TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, TaskExceptionSurfacesAtWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&completed] { completed.fetch_add(1); });
+  }
+  // The first exception is rethrown; the remaining tasks still drained.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 50);
+
+  // The exception was cleared: the pool is reusable afterwards.
+  pool.submit([&completed] { completed.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(completed.load(), 51);
+}
+
+TEST(ThreadPool, FirstOfSeveralExceptionsWins) {
+  ThreadPool pool(1);  // single worker => deterministic execution order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  pool.wait_idle();  // later exceptions are dropped; pool idle and clean
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(3);
   std::vector<int> hits(1000, 0);
@@ -132,6 +163,48 @@ TEST(ParallelFor, ZeroCountIsNoop) {
   bool touched = false;
   parallel_for(&pool, 0, [&](std::size_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, DeterministicAcrossPoolSizes) {
+  // Each index writes only its own slot, so the result must be
+  // bit-identical no matter how the chunked schedule carves the range.
+  const auto run = [](std::size_t workers) {
+    std::vector<double> out(1237, 0.0);
+    const auto body = [&out](std::size_t i) {
+      const double x = static_cast<double>(i);
+      out[i] = x * x + 0.5 * x;
+    };
+    if (workers == 0) {
+      parallel_for(nullptr, out.size(), body);
+    } else {
+      ThreadPool pool(workers);
+      parallel_for(&pool, out.size(), body);
+    }
+    return out;
+  };
+  const std::vector<double> sequential = run(0);
+  EXPECT_EQ(run(1), sequential);
+  EXPECT_EQ(run(2), sequential);
+  EXPECT_EQ(run(8), sequential);
+}
+
+TEST(ParallelFor, BodyExceptionPropagatesAndFillsOtherSlots) {
+  ThreadPool pool(4);
+  std::vector<int> out(500, 0);
+  EXPECT_THROW(parallel_for(&pool, out.size(),
+                            [&out](std::size_t i) {
+                              if (i == 250) throw std::runtime_error("boom");
+                              out[i] = 1;
+                            }),
+               std::runtime_error);
+  // The other chunks still ran; only the throwing chunk's tail is lost
+  // (4 workers * 4 chunks each => chunks of ~31 indices).
+  EXPECT_EQ(out[250], 0);
+  EXPECT_EQ(out.front(), 1);
+  EXPECT_EQ(out.back(), 1);
+  EXPECT_GE(std::accumulate(out.begin(), out.end(), 0),
+            static_cast<int>(out.size()) - 32);
+  pool.wait_idle();  // pool stays usable, no stored exception remains
 }
 
 }  // namespace
