@@ -1,0 +1,181 @@
+// Optimizer sweep kernel: prefix-incremental staged cursor vs the PR-1
+// cached-evaluator path. Both paths reuse the per-(system, level-subset)
+// DauweKernel; the cached path still runs the full Eqns. 4-14 recursion
+// per enumerated plan through a per-subset cost std::function, while the
+// staged path keeps a cursor over the count prefix so a leaf only pays
+// for the top stage and the scratch wrap. The search itself (grid,
+// ladder, pruning, refinement, tie-breaking) is shared code, so the
+// result check below is exact equality — identical plan, expected time,
+// and evaluation count — not a tolerance.
+//
+// Writes BENCH_optimizer.json (deterministic key order via util::Json) so
+// the speedup and the bit_identical flag are tracked artifacts. --smoke
+// shrinks the tau grid for CI; --metrics=file.json writes the engine /
+// optimizer / pool counter sidecar (docs/OBSERVABILITY.md).
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/optimizer.h"
+#include "core/serialize.h"
+#include "engine/evaluation.h"
+#include "engine/scenario.h"
+#include "obs/registry.h"
+#include "systems/test_systems.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using mlck::util::Json;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Best-of-repeats wall time of one optimizer run.
+template <typename Fn>
+double time_best(int repeats, const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+bool identical(const mlck::core::OptimizationResult& a,
+               const mlck::core::OptimizationResult& b) {
+  return a.plan.tau0 == b.plan.tau0 && a.plan.counts == b.plan.counts &&
+         a.plan.levels == b.plan.levels &&
+         a.expected_time == b.expected_time &&
+         a.evaluations == b.evaluations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mlck::util::Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  const int repeats = cli.get_int("repeats", smoke ? 1 : 5);
+  const std::string out = cli.get_string("out", "BENCH_optimizer.json");
+  const std::string metrics_path = cli.get_string("metrics", "");
+  const int threads = cli.get_int("threads", 0);
+  mlck::bench::reject_unknown_flags(cli);
+  mlck::util::ThreadPool pool(
+      static_cast<std::size_t>(std::max(threads, 0)));
+
+  std::unique_ptr<mlck::obs::MetricsRegistry> registry;
+  std::unique_ptr<mlck::engine::ScenarioMetrics> wiring;
+  if (!metrics_path.empty()) {
+    registry = std::make_unique<mlck::obs::MetricsRegistry>();
+    wiring = std::make_unique<mlck::engine::ScenarioMetrics>(*registry);
+    pool.attach_metrics(mlck::engine::pool_metrics(*registry));
+  }
+
+  mlck::core::OptimizerOptions opts;
+  if (smoke) opts.coarse_tau_points = 24;  // CI-sized grid, same code paths
+  if (wiring != nullptr) opts.metrics = &wiring->optimizer;
+
+  mlck::util::Table table({"system", "evals", "cached s", "staged s",
+                           "cached evals/s", "staged evals/s", "speedup",
+                           "identical"});
+  Json::Array systems_json;
+  double worst_speedup = std::numeric_limits<double>::infinity();
+  bool all_identical = true;
+
+  for (const char* name : {"B", "M", "D5", "D9"}) {
+    mlck::bench::progress("bench optimizer: " + std::string(name));
+    const auto sys = mlck::systems::table1_system(name);
+    mlck::engine::EvaluationEngine engine(sys);
+    if (wiring != nullptr) engine.attach_metrics(wiring->engine);
+
+    // The PR-1 baseline: the same cached per-subset kernels, evaluated
+    // one whole plan at a time behind a cost std::function (exactly what
+    // EvaluationEngine::optimize compiled to before the staged sweep).
+    const auto cached_factory =
+        [&engine](const std::vector<int>& levels) -> mlck::core::PlanCostFn {
+      const mlck::engine::EvaluationContext& ctx = engine.context(levels);
+      return [&ctx](const mlck::core::CheckpointPlan& plan) {
+        return ctx.kernel.expected_time(plan.tau0, plan.counts);
+      };
+    };
+
+    // One untimed run each: warms the context cache and code/data paths,
+    // and supplies the results for the exact-equality check.
+    const auto cached = mlck::core::optimize_intervals_with(
+        cached_factory, sys, opts, &pool);
+    const auto staged = engine.optimize(opts, &pool);
+    const bool bit_identical = identical(cached, staged);
+    if (!bit_identical) {
+      all_identical = false;
+      std::cerr << "FATAL: staged sweep diverges from per-plan path on "
+                << name << "\n";
+    }
+
+    const double cached_s = time_best(repeats, [&] {
+      mlck::core::optimize_intervals_with(cached_factory, sys, opts, &pool);
+    });
+    const double staged_s =
+        time_best(repeats, [&] { engine.optimize(opts, &pool); });
+
+    const auto evals = static_cast<double>(cached.evaluations);
+    const double speedup = cached_s / staged_s;
+    worst_speedup = std::min(worst_speedup, speedup);
+    table.add_row({name, std::to_string(cached.evaluations),
+                   mlck::util::Table::num(cached_s, 4),
+                   mlck::util::Table::num(staged_s, 4),
+                   mlck::util::Table::num(evals / cached_s, 0),
+                   mlck::util::Table::num(evals / staged_s, 0),
+                   mlck::util::Table::num(speedup, 2) + "x",
+                   bit_identical ? "yes" : "NO"});
+
+    Json::Object row;
+    row["system"] = name;
+    row["levels"] = sys.levels();
+    row["evaluations"] = evals;
+    row["cached_seconds"] = cached_s;
+    row["staged_seconds"] = staged_s;
+    row["cached_evals_per_sec"] = evals / cached_s;
+    row["staged_evals_per_sec"] = evals / staged_s;
+    row["speedup"] = speedup;
+    row["bit_identical"] = bit_identical;
+    systems_json.emplace_back(std::move(row));
+  }
+
+  Json::Object doc;
+  doc["benchmark"] = "optimizer_staged_cursor_vs_cached_per_plan";
+  doc["optimizer"] = smoke ? "optimize_intervals, coarse_tau_points=24"
+                           : "optimize_intervals default options";
+  doc["repeats"] = repeats;
+  doc["threads"] = threads;
+  doc["smoke"] = smoke;
+  doc["systems"] = std::move(systems_json);
+  doc["min_speedup"] = worst_speedup;
+  doc["bit_identical"] = all_identical;
+  mlck::core::write_file(out, Json(std::move(doc)).dump(2) + "\n");
+
+  if (registry != nullptr && !metrics_path.empty()) {
+    std::ofstream sidecar(metrics_path);
+    sidecar << registry->to_json().dump(2) << "\n";
+    std::cerr << "[mlck] wrote metrics sidecar " << metrics_path << "\n";
+  }
+
+  std::cout << "Optimizer benchmark: prefix-incremental staged cursor vs "
+               "cached per-plan evaluation (identical search, exact-equal "
+               "results)\n";
+  table.print(std::cout);
+  std::cout << "\nwrote " << out << "\n";
+  if (!all_identical) return 1;
+  return worst_speedup > 1.0 ? 0 : 3;
+}

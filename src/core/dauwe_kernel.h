@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -64,6 +65,71 @@ class DauweKernel {
   DauweKernel(const systems::SystemConfig& system,
               const std::vector<int>& levels, const DauweOptions& options);
 
+  /// Prefix-incremental cursor over the Eqns. 4-14 recursion.
+  ///
+  /// Stage k's per-interval failure terms — gamma_k (Eqn. 5) and the
+  /// truncated mean E(tau_k) (Eqn. 6), the only transcendental work of
+  /// the stage — depend solely on the (tau0, counts[0..k-1]) prefix, so a
+  /// sweep that enumerates counts depth-first can compute them once per
+  /// prefix node instead of once per leaf. The cursor keeps that prefix
+  /// as an explicit stage-state stack {tau_k, gamma_k, gamma_k E(tau_k)}:
+  ///
+  ///   cursor.begin(tau0);                 // enters stage 0
+  ///   cursor.push_stage(0, counts[0]);    // completes stage 0, enters 1
+  ///   ...                                 // one push per interior stage
+  ///   cursor.finish_expected_time(prod);  // top stage + scratch wrap
+  ///
+  /// Re-pushing at depth k simply overwrites stages > k, so siblings in
+  /// an enumeration share every shallower stage. The per-plan entry
+  /// points (expected_time / recursion) drive a fresh cursor through the
+  /// same member functions, so staged and per-plan evaluation execute
+  /// literally the same arithmetic and agree bit for bit.
+  class Cursor {
+   public:
+    explicit Cursor(const DauweKernel& kernel) noexcept : kernel_(&kernel) {}
+
+    /// Starts a fresh prefix: enters stage 0 with computation interval
+    /// @p tau0 (computing its gamma/E pair, the slice-invariant work).
+    void begin(double tau0) noexcept;
+
+    /// Completes interior stage @p k (0-based, k < levels().size() - 1)
+    /// with pattern count @p n using the cached entering state, and
+    /// enters stage k + 1. Stages deeper than k + 1 become stale and
+    /// must be re-pushed before the next finish. @p term optionally
+    /// receives the stage's per-period breakdown.
+    void push_stage(int k, int n, DauweStageTerms* term = nullptr) noexcept;
+
+    /// Completes the top stage for the current prefix: the expected time
+    /// of one full execution *before* the restart-from-scratch wrap,
+    /// where @p pattern = prod(counts[k] + 1) over the pushed interior
+    /// stages. +inf when the plan is infeasible (fewer than one
+    /// top-level period, Eqn. 3) or any entered stage overflowed. Leaves
+    /// the prefix untouched, so the enumeration can continue pushing
+    /// from any shallower depth.
+    double finish_top(double pattern,
+                      DauweStageTerms* term = nullptr) const noexcept;
+
+    /// finish_top plus the scratch wrap: exactly
+    /// DauweKernel::expected_time of the pushed plan.
+    double finish_expected_time(double pattern) const noexcept;
+
+   private:
+    /// Enters stage @p k with interval @p tau: records tau_k and the
+    /// stage's gamma/E pair, or marks the prefix dead on overflow.
+    void enter(int k, double tau) noexcept;
+
+    const DauweKernel* kernel_;
+    std::array<double, kDauweMaxLevels> tau_;      ///< tau_k entering stage k
+    std::array<double, kDauweMaxLevels> gamma_;    ///< gamma_k (Eqn. 5)
+    std::array<double, kDauweMaxLevels> gamma_e_;  ///< gamma_k * E(tau_k)
+    /// Shallowest stage whose entering tau is non-finite (its whole
+    /// subtree evaluates to +inf); kDauweMaxLevels + 1 when clean.
+    int dead_from_ = kDauweMaxLevels + 1;
+  };
+
+  /// Fresh cursor; call begin() before pushing stages.
+  Cursor cursor() const noexcept { return Cursor(*this); }
+
   /// Expected execution time for (tau0, counts) over the kernel's level
   /// subset, including the restart-from-scratch wrap; +inf for infeasible
   /// plans. counts.size() must equal levels().size() - 1.
@@ -79,6 +145,10 @@ class DauweKernel {
   double recursion(double tau0, std::span<const int> counts,
                    DauweStageTerms* stages) const noexcept;
 
+  /// Applies the restart-from-scratch wrap (severities above the top used
+  /// level re-run the whole execution) to a finite before-scratch time.
+  double wrap_scratch(double before_scratch) const noexcept;
+
   const std::vector<DauweLevelTerms>& levels() const noexcept {
     return level_;
   }
@@ -87,6 +157,13 @@ class DauweKernel {
   const DauweOptions& options() const noexcept { return options_; }
 
  private:
+  /// All terms of stage k (Eqns. 4-14) given its entering state: the
+  /// multiplicity @p m, checkpoint count @p c, the stage's gamma, and the
+  /// prefix histories (entries 0..k valid). Returns tau_{k+1}.
+  double stage_output(int k, double m, double c, double gamma,
+                      const double* tau_hist, const double* gamma_e_hist,
+                      DauweStageTerms* term) const noexcept;
+
   std::vector<DauweLevelTerms> level_;
   double scratch_lambda_ = 0.0;
   double base_time_ = 0.0;

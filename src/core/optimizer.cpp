@@ -4,7 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 
+#include "core/dauwe_kernel.h"
 #include "util/parallel.h"
 
 namespace mlck::core {
@@ -32,43 +35,137 @@ std::vector<double> log_grid(double lo, double hi, int points) {
   return out;
 }
 
-/// Enumerates ladder^(K-1) count combinations for one tau0, pruning
-/// combinations whose pattern already exceeds the feasibility bound
-/// tau0 * prod(N+1) <= T_B. Templated on the cost callable so the direct
-/// model path pays no extra indirection and the cached-evaluator path
-/// shares the identical enumeration order.
+/// Per-plan evaluator: one shared thread-safe cost callable per subset;
+/// each sweep slice assembles candidate plans and invokes it at the
+/// leaves. This is the path for arbitrary ExecutionTimeModels and the
+/// reference the staged evaluator is tested against.
 template <typename CostFn>
-void sweep_counts(const CostFn& cost, const systems::SystemConfig& system,
-                  CheckpointPlan& plan, const std::vector<int>& ladder,
-                  std::size_t dim, double pattern_so_far, Candidate& best,
-                  std::size_t& evals, std::size_t& pruned) {
-  if (dim == plan.counts.size()) {
-    ++evals;
-    const double t = cost(plan);
+struct CostEvaluator {
+  CostFn cost;             ///< shared across slices; must be thread-safe
+  std::vector<int> levels;
+
+  struct Slice {
+    const CostFn* cost;
+    CheckpointPlan plan;
+    void begin(double tau0) { plan.tau0 = tau0; }
+    void set_count(std::size_t dim, int n) { plan.counts[dim] = n; }
+    double leaf(double /*pattern*/) { return (*cost)(plan); }
+  };
+
+  Slice slice() const {
+    Slice s;
+    s.cost = &cost;
+    s.plan.levels = levels;
+    s.plan.counts.assign(levels.size() - 1, 0);
+    return s;
+  }
+
+  double plan_cost(const CheckpointPlan& plan) const { return cost(plan); }
+};
+
+/// Prefix-incremental evaluator over a DauweKernel cursor: set_count(d, n)
+/// completes stage d once per prefix node, so a leaf only pays for the
+/// top stage and the scratch wrap. Bit-identical to CostEvaluator over
+/// kernel.expected_time — the cursor is the per-plan path's arithmetic.
+struct StagedEvaluator {
+  const DauweKernel* kernel;
+
+  struct Slice {
+    DauweKernel::Cursor cursor;
+    void begin(double tau0) noexcept { cursor.begin(tau0); }
+    void set_count(std::size_t dim, int n) noexcept {
+      cursor.push_stage(static_cast<int>(dim), n);
+    }
+    double leaf(double pattern) noexcept {
+      return cursor.finish_expected_time(pattern);
+    }
+  };
+
+  Slice slice() const { return Slice{kernel->cursor()}; }
+
+  double plan_cost(const CheckpointPlan& plan) const {
+    return kernel->expected_time(plan.tau0, plan.counts);
+  }
+};
+
+/// Enumerates the ladder^dims count lattice for one tau0 slice — the old
+/// recursive sweep flattened into an explicit rung stack so evaluators
+/// can reuse per-prefix state across siblings. Visit order, the
+/// feasibility prune (the ladder ascends, so the first infeasible rung
+/// cuts the rest of the depth), and best-candidate tie-breaking are
+/// identical to the recursive formulation. @p pruned counts *leaf plans*
+/// eliminated: each rung cut at depth d hides ladder^(dims-1-d) leaves,
+/// so evals + pruned == ladder^dims for every slice.
+template <typename Slice>
+void sweep_slice(Slice& slice, double tau0, double base_time,
+                 const std::vector<int>& ladder, std::vector<int>& counts,
+                 Candidate& best, std::size_t& evals, std::size_t& pruned) {
+  const std::size_t dims = counts.size();
+  slice.begin(tau0);
+  const auto consider = [&](double t) {
     if (t < best.time) {
       best.time = t;
-      best.tau0 = plan.tau0;
-      best.counts = plan.counts;
+      best.tau0 = tau0;
+      best.counts = counts;
     }
+  };
+  if (dims == 0) {
+    ++evals;
+    consider(slice.leaf(1.0));
     return;
   }
-  for (std::size_t li = 0; li < ladder.size(); ++li) {
-    const int n = ladder[li];
-    const double pattern = pattern_so_far * (n + 1);
-    if (plan.tau0 * pattern > system.base_time) {  // ladder ascends
-      pruned += ladder.size() - li;  // branches cut, one per skipped rung
-      break;
+
+  // leaves_below[d]: leaf plans under one chosen rung at depth d.
+  std::vector<std::size_t> leaves_below(dims);
+  {
+    std::size_t p = 1;
+    for (std::size_t d = dims; d-- > 0;) {
+      leaves_below[d] = p;
+      p *= ladder.size();
     }
-    plan.counts[dim] = n;
-    sweep_counts(cost, system, plan, ladder, dim + 1, pattern, best, evals,
-                 pruned);
+  }
+
+  std::vector<std::size_t> rung(dims, 0);
+  std::vector<double> pattern(dims + 1, 1.0);  // prefix prod (N_j + 1)
+  std::size_t d = 0;
+  while (true) {
+    if (rung[d] == ladder.size()) {  // depth exhausted: ascend
+      if (d == 0) return;
+      --d;
+      ++rung[d];
+      continue;
+    }
+    const int n = ladder[rung[d]];
+    const double p = pattern[d] * (n + 1);
+    if (tau0 * p > base_time) {  // ladder ascends: cut the remaining rungs
+      pruned += (ladder.size() - rung[d]) * leaves_below[d];
+      if (d == 0) return;
+      --d;
+      ++rung[d];
+      continue;
+    }
+    counts[d] = n;
+    slice.set_count(d, n);
+    pattern[d + 1] = p;
+    if (d + 1 == dims) {
+      ++evals;
+      consider(slice.leaf(p));
+      ++rung[d];
+    } else {
+      ++d;
+      rung[d] = 0;
+    }
   }
 }
 
-/// Shared search skeleton. @p make_cost is invoked once per level subset
-/// and must return a thread-safe cost callable for plans over that subset.
-template <typename MakeCost>
-OptimizationResult optimize_impl(const MakeCost& make_cost,
+/// Shared search skeleton. @p make_evaluator is invoked once per level
+/// subset — serially, in search order — and returns the per-subset
+/// evaluator (CostEvaluator or StagedEvaluator). The coarse pass then
+/// runs one independent task per (subset, tau0) pair, so systems with
+/// few interior dims still expose subsets x tau-points units of
+/// parallelism; reduction and refinement stay serial and deterministic.
+template <typename MakeEvaluator>
+OptimizationResult optimize_impl(const MakeEvaluator& make_evaluator,
                                  const systems::SystemConfig& system,
                                  const OptimizerOptions& options,
                                  util::ThreadPool* pool) {
@@ -93,40 +190,52 @@ OptimizationResult optimize_impl(const MakeCost& make_cost,
       options.tau_min, system.base_time * (1.0 - 1e-9),
       options.coarse_tau_points);
 
+  using Evaluator = std::decay_t<decltype(make_evaluator(subsets.front()))>;
+  std::vector<Evaluator> evaluator;
+  evaluator.reserve(subsets.size());
+  for (const auto& levels : subsets) {
+    evaluator.push_back(make_evaluator(levels));
+  }
+
+  // Coarse pass: every (subset, tau0) slice finds its own best, written
+  // to a private slot; the reduction below is serial and deterministic.
+  struct Slot {
+    Candidate best;
+    std::size_t evals = 0;
+    std::size_t pruned = 0;
+  };
+  const std::size_t nt = taus.size();
+  std::vector<Slot> slot(subsets.size() * nt);
+  util::parallel_for(pool, slot.size(), [&](std::size_t idx) {
+    const std::size_t si = idx / nt;
+    auto slice = evaluator[si].slice();
+    std::vector<int> counts(subsets[si].size() - 1, 0);
+    Slot& s = slot[idx];
+    sweep_slice(slice, taus[idx % nt], system.base_time, ladder, counts,
+                s.best, s.evals, s.pruned);
+  });
+
   Candidate global;
   std::vector<int> global_levels;
   std::size_t total_evals = 0;
   std::size_t total_pruned = 0;
   std::size_t refine_evals = 0;
 
-  for (const auto& levels : subsets) {
+  for (std::size_t si = 0; si < subsets.size(); ++si) {
+    const auto& levels = subsets[si];
     const std::size_t dims = levels.size() - 1;
-    const auto cost = make_cost(levels);
-
-    // Coarse pass: each tau0 slice finds its own best, written to a
-    // private slot; the reduction below is serial and deterministic.
-    std::vector<Candidate> slice(taus.size());
-    std::vector<std::size_t> slice_evals(taus.size(), 0);
-    std::vector<std::size_t> slice_pruned(taus.size(), 0);
-    util::parallel_for(pool, taus.size(), [&](std::size_t ti) {
-      CheckpointPlan plan;
-      plan.tau0 = taus[ti];
-      plan.levels = levels;
-      plan.counts.assign(dims, 0);
-      sweep_counts(cost, system, plan, ladder, 0, 1.0, slice[ti],
-                   slice_evals[ti], slice_pruned[ti]);
-    });
 
     Candidate best;
-    for (const auto& c : slice) {
-      if (c.time < best.time) best = c;
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      Slot& s = slot[si * nt + ti];
+      if (s.best.time < best.time) best = std::move(s.best);
+      total_evals += s.evals;
+      total_pruned += s.pruned;
     }
-    for (const auto e : slice_evals) total_evals += e;
-    for (const auto p : slice_pruned) total_pruned += p;
     if (!std::isfinite(best.time)) continue;
 
     // Refinement: coordinate descent over tau0 and each count, evaluated
-    // against the same per-subset cost function as the coarse pass.
+    // against the same per-subset evaluator as the coarse pass.
     static constexpr double kTauFactors[] = {0.80, 0.90, 0.95, 0.98,
                                              1.02, 1.05, 1.10, 1.25};
     static constexpr int kCountSteps[] = {-4, -2, -1, 1, 2, 4};
@@ -141,7 +250,7 @@ OptimizationResult optimize_impl(const MakeCost& make_cost,
         plan.counts = best.counts;
         ++total_evals;
         ++refine_evals;
-        const double t = cost(plan);
+        const double t = evaluator[si].plan_cost(plan);
         if (t < improved.time) {
           improved = Candidate{t, tau, best.counts};
         }
@@ -155,7 +264,7 @@ OptimizationResult optimize_impl(const MakeCost& make_cost,
           plan.counts[d] = n;
           ++total_evals;
           ++refine_evals;
-          const double t = cost(plan);
+          const double t = evaluator[si].plan_cost(plan);
           if (t < improved.time) {
             improved = Candidate{t, best.tau0, plan.counts};
           }
@@ -220,17 +329,29 @@ OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
                                       const systems::SystemConfig& system,
                                       const OptimizerOptions& options,
                                       util::ThreadPool* pool) {
-  const auto make_cost = [&](const std::vector<int>&) {
-    return ModelCost{model, system};
+  const auto make_evaluator = [&](const std::vector<int>& levels) {
+    return CostEvaluator<ModelCost>{ModelCost{model, system}, levels};
   };
-  return optimize_impl(make_cost, system, options, pool);
+  return optimize_impl(make_evaluator, system, options, pool);
 }
 
 OptimizationResult optimize_intervals_with(
     const SubsetEvaluatorFactory& factory,
     const systems::SystemConfig& system, const OptimizerOptions& options,
     util::ThreadPool* pool) {
-  return optimize_impl(factory, system, options, pool);
+  const auto make_evaluator = [&](const std::vector<int>& levels) {
+    return CostEvaluator<PlanCostFn>{factory(levels), levels};
+  };
+  return optimize_impl(make_evaluator, system, options, pool);
+}
+
+OptimizationResult optimize_intervals_staged(
+    const SubsetKernelFactory& factory, const systems::SystemConfig& system,
+    const OptimizerOptions& options, util::ThreadPool* pool) {
+  const auto make_evaluator = [&](const std::vector<int>& levels) {
+    return StagedEvaluator{&factory(levels)};
+  };
+  return optimize_impl(make_evaluator, system, options, pool);
 }
 
 }  // namespace mlck::core

@@ -11,13 +11,18 @@
 
 namespace mlck::core {
 
+class DauweKernel;
+
 /// Optional search observability. Null members are skipped; counts are
 /// accumulated per subset in locals and flushed once per sweep, so the
 /// hot enumeration loop is untouched and results are unaffected.
 struct OptimizerMetrics {
   obs::Counter* plans_swept = nullptr;    ///< coarse-pass cost evaluations
-  /// Ladder branches cut by the feasibility bound tau0 * prod(N+1) <= T_B
-  /// before being evaluated.
+  /// Leaf plans eliminated by the feasibility bound tau0 * prod(N+1) <= T_B
+  /// before being evaluated: a cut at enumeration depth d skips
+  /// ladder^(remaining dims) candidate plans per skipped rung, so
+  /// plans_swept + plans_pruned always equals the full coarse lattice
+  /// (tau points x ladder^dims, summed over level subsets).
   obs::Counter* plans_pruned = nullptr;
   obs::Counter* plans_refined = nullptr;  ///< refinement cost evaluations
   obs::Counter* subsets_searched = nullptr;  ///< level subsets swept
@@ -65,8 +70,9 @@ struct OptimizationResult {
 /// @p system. The returned plan is feasible (finite expected time);
 /// throws std::runtime_error if no candidate is feasible.
 ///
-/// @p pool parallelizes the coarse sweep across tau0 slices; results are
-/// identical with or without a pool.
+/// @p pool parallelizes the coarse sweep jointly across (level subset,
+/// tau0) slices — so even 2-level systems expose subsets x tau-points
+/// units of work; results are identical with or without a pool.
 OptimizationResult optimize_intervals(const ExecutionTimeModel& model,
                                       const systems::SystemConfig& system,
                                       const OptimizerOptions& options = {},
@@ -94,6 +100,25 @@ OptimizationResult optimize_intervals_with(
     const SubsetEvaluatorFactory& factory,
     const systems::SystemConfig& system, const OptimizerOptions& options = {},
     util::ThreadPool* pool = nullptr);
+
+/// The precomputed kernel for one candidate level subset. Called once per
+/// subset, serially, in search order; the returned reference must stay
+/// valid until the search ends (the caller owns the kernels, e.g. the
+/// engine's context cache or a per-search arena).
+using SubsetKernelFactory =
+    std::function<const DauweKernel&(const std::vector<int>& levels)>;
+
+/// optimize_intervals driven by the prefix-incremental kernel cursor
+/// (DauweKernel::Cursor): entering enumeration depth k computes stage k's
+/// transcendental terms once per count prefix instead of once per leaf
+/// plan, so only the top stage and the scratch wrap run per candidate.
+/// Enumeration order, pruning, refinement, tie-breaking, and evaluation
+/// counts are identical to the per-plan overloads, and every leaf value
+/// is bit-identical to kernel.expected_time (the cursor *is* the per-plan
+/// path's arithmetic), so the selected plan matches exactly.
+OptimizationResult optimize_intervals_staged(
+    const SubsetKernelFactory& factory, const systems::SystemConfig& system,
+    const OptimizerOptions& options = {}, util::ThreadPool* pool = nullptr);
 
 /// The geometric candidate ladder for pattern counts used by the coarse
 /// pass: 0,1,2,... then ~1.25x steps up to @p max_count. Exposed for

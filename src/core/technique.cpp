@@ -12,19 +12,19 @@ DauweTechnique::DauweTechnique(DauweOptions model_options,
 
 TechniqueResult DauweTechnique::do_select_plan(
     const systems::SystemConfig& system, util::ThreadPool* pool) const {
-  // Precompute the tau-independent per-level terms once per level subset;
-  // every coarse-sweep and refinement evaluation over the subset then
-  // reuses them. Bit-identical to sweeping DauweModel directly (the
-  // kernel runs the same recursion), just without the per-plan rebuild.
-  const auto factory = [&](const std::vector<int>& levels) -> PlanCostFn {
-    auto kernel =
-        std::make_shared<const DauweKernel>(system, levels, model_.options());
-    return [kernel](const CheckpointPlan& plan) {
-      return kernel->expected_time(plan.tau0, plan.counts);
-    };
+  // Precompute the tau-independent per-level terms once per level subset
+  // and drive the prefix-incremental sweep over them. Bit-identical to
+  // sweeping DauweModel directly (the staged cursor runs the same
+  // recursion), just without the per-plan rebuild or per-leaf stage work.
+  std::vector<std::unique_ptr<const DauweKernel>> kernels;
+  const auto factory =
+      [&](const std::vector<int>& levels) -> const DauweKernel& {
+    kernels.push_back(
+        std::make_unique<const DauweKernel>(system, levels, model_.options()));
+    return *kernels.back();
   };
   const OptimizationResult best =
-      optimize_intervals_with(factory, system, optimizer_options_, pool);
+      optimize_intervals_staged(factory, system, optimizer_options_, pool);
   TechniqueResult result;
   result.technique = name();
   result.plan = best.plan;

@@ -10,20 +10,45 @@ EvaluationEngine::EvaluationEngine(systems::SystemConfig system,
   system_.validate();
 }
 
+EvaluationEngine::~EvaluationEngine() {
+  const ContextNode* node = head_.load(std::memory_order_acquire);
+  while (node != nullptr) {
+    const ContextNode* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+const EvaluationContext* EvaluationEngine::find_context(
+    const std::vector<int>& levels) const noexcept {
+  // The acquire load pairs with the release store in context(): once a
+  // node is visible, so is everything its constructor wrote. next
+  // pointers are immutable after publication, so the walk is safe with
+  // concurrent appends.
+  for (const ContextNode* node = head_.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    if (node->context.levels == levels) return &node->context;
+  }
+  return nullptr;
+}
+
 const EvaluationContext& EvaluationEngine::context(
     const std::vector<int>& levels) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = contexts_.find(levels);
-  if (it == contexts_.end()) {
-    it = contexts_
-             .emplace(levels, std::make_unique<EvaluationContext>(
-                                  system_, levels, options_))
-             .first;
-    if (metrics_.context_misses != nullptr) metrics_.context_misses->add();
-  } else if (metrics_.context_hits != nullptr) {
-    metrics_.context_hits->add();
+  if (const EvaluationContext* ctx = find_context(levels); ctx != nullptr) {
+    if (metrics_.context_hits != nullptr) metrics_.context_hits->add();
+    return *ctx;
   }
-  return *it->second;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Double-checked: another thread may have built it while we waited.
+  if (const EvaluationContext* ctx = find_context(levels); ctx != nullptr) {
+    if (metrics_.context_hits != nullptr) metrics_.context_hits->add();
+    return *ctx;
+  }
+  auto* node = new ContextNode(system_, levels, options_,
+                               head_.load(std::memory_order_relaxed));
+  head_.store(node, std::memory_order_release);
+  if (metrics_.context_misses != nullptr) metrics_.context_misses->add();
+  return node->context;
 }
 
 double EvaluationEngine::expected_time(const core::CheckpointPlan& plan) const {
@@ -40,25 +65,25 @@ core::Prediction EvaluationEngine::predict(
 
 core::OptimizationResult EvaluationEngine::optimize(
     const core::OptimizerOptions& options, util::ThreadPool* pool) const {
-  // The sweep's cost callable bumps the evaluation counter with one
-  // relaxed increment; with no metrics attached the pointer is null and
-  // the branch never taken.
-  obs::Counter* const evals = metrics_.evaluations;
-  const auto factory = [this, evals](const std::vector<int>& levels)
-      -> core::PlanCostFn {
-    const EvaluationContext& ctx = context(levels);
-    return [&ctx, evals](const core::CheckpointPlan& plan) {
-      if (evals != nullptr) evals->add();
-      return ctx.kernel.expected_time(plan.tau0, plan.counts);
-    };
+  const auto factory =
+      [this](const std::vector<int>& levels) -> const core::DauweKernel& {
+    return context(levels).kernel;
   };
-  return core::optimize_intervals_with(factory, system_, options, pool);
+  core::OptimizationResult result =
+      core::optimize_intervals_staged(factory, system_, options, pool);
+  // The staged sweep never leaves the kernel cursor, so the evaluation
+  // counter is settled in one bulk add instead of one relaxed increment
+  // per enumerated plan.
+  if (metrics_.evaluations != nullptr) {
+    metrics_.evaluations->add(result.evaluations);
+  }
+  return result;
 }
 
 std::vector<double> EvaluationEngine::expected_times(
     std::span<const core::CheckpointPlan> plans, util::ThreadPool* pool) const {
   // Materialize every needed context serially first so the parallel phase
-  // never touches the cache mutex.
+  // never contends on the build mutex.
   std::vector<const EvaluationContext*> ctx(plans.size());
   for (std::size_t i = 0; i < plans.size(); ++i) {
     ctx[i] = &context(plans[i].levels);
@@ -72,8 +97,12 @@ std::vector<double> EvaluationEngine::expected_times(
 }
 
 std::size_t EvaluationEngine::cached_contexts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return contexts_.size();
+  std::size_t n = 0;
+  for (const ContextNode* node = head_.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    ++n;
+  }
+  return n;
 }
 
 }  // namespace mlck::engine

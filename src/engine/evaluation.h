@@ -1,7 +1,6 @@
 #pragma once
 
-#include <map>
-#include <memory>
+#include <atomic>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -49,12 +48,18 @@ struct EvaluationContext {
 /// (see core::DauweKernel), and optimize() drives the same search code as
 /// core::optimize_intervals.
 ///
-/// Thread-safety: all const members may be called concurrently; context
-/// creation is serialized internally and contexts are immutable.
+/// Thread-safety: all const members may be called concurrently. Context
+/// *lookups* are lock-free (an acquire walk of an append-only list), so
+/// concurrent expected_time/predict callers never serialize on the cache
+/// once their subset is built; only first-build of a subset takes the
+/// mutex, and contexts are immutable afterwards.
 class EvaluationEngine {
  public:
   explicit EvaluationEngine(systems::SystemConfig system,
                             core::DauweOptions options = {});
+  ~EvaluationEngine();
+  EvaluationEngine(const EvaluationEngine&) = delete;
+  EvaluationEngine& operator=(const EvaluationEngine&) = delete;
 
   const systems::SystemConfig& system() const noexcept { return system_; }
   const core::DauweOptions& options() const noexcept { return options_; }
@@ -69,10 +74,12 @@ class EvaluationEngine {
   /// Full forecast with breakdown; bit-identical to DauweModel::predict.
   core::Prediction predict(const core::CheckpointPlan& plan) const;
 
-  /// Interval search over the cached contexts: same sweep, pruning, and
-  /// refinement as core::optimize_intervals on a DauweModel — identical
-  /// plans, expected times, and evaluation counts — but every evaluation
-  /// reuses the per-subset context.
+  /// Interval search over the cached contexts, driven by the
+  /// prefix-incremental kernel cursor (core::optimize_intervals_staged):
+  /// same sweep, pruning, and refinement as core::optimize_intervals on a
+  /// DauweModel — identical plans, expected times, and evaluation counts
+  /// — but stage terms are computed once per count prefix instead of once
+  /// per enumerated plan.
   core::OptimizationResult optimize(const core::OptimizerOptions& options = {},
                                     util::ThreadPool* pool = nullptr) const;
 
@@ -92,15 +99,29 @@ class EvaluationEngine {
   void attach_metrics(const EngineMetrics& metrics) { metrics_ = metrics; }
 
  private:
+  /// One cache entry. Nodes are heap-allocated, published once with a
+  /// release store of head_, and never modified or freed before the
+  /// engine dies — which is what makes the read path lock- and wait-free.
+  struct ContextNode {
+    ContextNode(const systems::SystemConfig& system, std::vector<int> subset,
+                const core::DauweOptions& options, const ContextNode* tail)
+        : context(system, std::move(subset), options), next(tail) {}
+    EvaluationContext context;
+    const ContextNode* next;
+  };
+
+  /// Lock-free lookup; nullptr when @p levels has no context yet.
+  const EvaluationContext* find_context(
+      const std::vector<int>& levels) const noexcept;
+
   systems::SystemConfig system_;
   core::DauweOptions options_;
   EngineMetrics metrics_;
-  mutable std::mutex mutex_;
-  /// unique_ptr values keep context addresses stable across rehash-free
-  /// map growth, so references handed out stay valid for the engine's
-  /// lifetime.
-  mutable std::map<std::vector<int>, std::unique_ptr<EvaluationContext>>
-      contexts_;
+  mutable std::mutex mutex_;  ///< serializes context *builds* only
+  /// Append-only singly-linked list of every built context; the few-entry
+  /// linear walk (one node per level subset, <= levels of the system)
+  /// beats a map lookup and needs no reader-side synchronization.
+  mutable std::atomic<const ContextNode*> head_{nullptr};
 };
 
 }  // namespace mlck::engine

@@ -6,11 +6,14 @@
 // an exact factoring of the same arithmetic, not an approximation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <random>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "app/commands.h"
@@ -193,6 +196,73 @@ TEST(Engine, ContextsAreCachedAndReused) {
   EXPECT_EQ(engine.cached_contexts(), 1u);
   engine.context({0, 1});
   EXPECT_EQ(engine.cached_contexts(), 2u);
+}
+
+TEST(Engine, ConcurrentExpectedTimeIsLockFreeAfterFirstBuildAndExact) {
+  // expected_time/predict must not serialize concurrent callers: the
+  // context lookup is a lock-free list walk, with the mutex taken only to
+  // build a subset's context the first time anyone asks for it. Hammer
+  // the engine from many threads over plans spanning several subsets —
+  // including subsets no thread has built yet — and require every value
+  // to equal the serial answer and the cache to hold exactly one context
+  // per distinct subset.
+  const auto sys = systems::table1_system("B");
+  EvaluationEngine engine(sys);
+  obs::MetricsRegistry registry;
+  EngineMetrics metrics;
+  metrics.context_hits = &registry.counter("engine.context_cache.hits");
+  metrics.context_misses = &registry.counter("engine.context_cache.misses");
+  metrics.evaluations = &registry.counter("engine.evaluations");
+  engine.attach_metrics(metrics);
+
+  std::vector<CheckpointPlan> plans;
+  for (unsigned seed = 1; seed <= 4; ++seed) {
+    for (const auto& p : random_plans(sys, 64, seed)) plans.push_back(p);
+  }
+  const DauweModel model;
+  std::vector<double> serial(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    serial[i] = model.expected_time(sys, plans[i]);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::vector<std::vector<double>> got(
+      kThreads, std::vector<double>(plans.size()));
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int round = 0; round < kRounds; ++round) {
+          for (std::size_t i = 0; i < plans.size(); ++i) {
+            got[static_cast<std::size_t>(t)][i] =
+                engine.expected_time(plans[i]);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<std::size_t>(t)], serial) << "thread " << t;
+  }
+  // One context per distinct subset; every other lookup was a cache hit.
+  std::size_t distinct = 0;
+  std::vector<std::vector<int>> seen;
+  for (const auto& p : plans) {
+    if (std::find(seen.begin(), seen.end(), p.levels) == seen.end()) {
+      seen.push_back(p.levels);
+      ++distinct;
+    }
+  }
+  EXPECT_EQ(engine.cached_contexts(), distinct);
+  EXPECT_EQ(metrics.context_misses->value(), distinct);
+  const auto total_calls =
+      static_cast<std::uint64_t>(kThreads) * kRounds * plans.size();
+  EXPECT_EQ(metrics.evaluations->value(), total_calls);
+  EXPECT_EQ(metrics.context_hits->value(), total_calls - distinct);
 }
 
 TEST(Engine, BatchedExpectedTimesMatchScalarAndAreThreadInvariant) {

@@ -5,6 +5,7 @@
 
 #include "core/dauwe_model.h"
 #include "core/optimizer.h"
+#include "engine/evaluation.h"
 #include "models/daly.h"
 #include "models/moody.h"
 #include "systems/scaling.h"
@@ -186,6 +187,45 @@ TEST(Optimizer, FactoryIsCalledOncePerLevelSubset) {
   for (std::size_t i = 1; i < subsets.size(); ++i) {
     EXPECT_NE(subsets[i], subsets[i - 1]);
   }
+}
+
+TEST(Optimizer, SweptPlusPrunedCoversTheFullCoarseLattice) {
+  // plans_pruned counts *leaf plans* eliminated by the feasibility bound,
+  // so together with plans_swept it must account for every point of the
+  // coarse lattice: tau points x ladder^dims, summed over level subsets.
+  const auto sys = systems::table1_system("B");  // 4 levels, suffix skipping
+  OptimizerOptions opts;
+  opts.coarse_tau_points = 24;  // smaller grid, same invariant
+
+  const std::size_t rungs = count_ladder(opts.max_count).size();
+  std::size_t lattice = 0;
+  for (int dims = 0; dims < sys.levels(); ++dims) {
+    std::size_t leaves = 1;
+    for (int d = 0; d < dims; ++d) leaves *= rungs;
+    lattice += static_cast<std::size_t>(opts.coarse_tau_points) * leaves;
+  }
+
+  obs::Counter swept;
+  obs::Counter pruned;
+  OptimizerMetrics metrics;
+  metrics.plans_swept = &swept;
+  metrics.plans_pruned = &pruned;
+  opts.metrics = &metrics;
+  const DauweModel model;
+  optimize_intervals(model, sys, opts);
+  EXPECT_GT(swept.value(), 0u);
+  EXPECT_GT(pruned.value(), 0u);
+  EXPECT_EQ(swept.value() + pruned.value(), lattice);
+
+  // The staged engine path accounts for the identical lattice.
+  obs::Counter staged_swept;
+  obs::Counter staged_pruned;
+  metrics.plans_swept = &staged_swept;
+  metrics.plans_pruned = &staged_pruned;
+  const engine::EvaluationEngine eng(sys);
+  eng.optimize(opts);
+  EXPECT_EQ(staged_swept.value(), swept.value());
+  EXPECT_EQ(staged_pruned.value(), pruned.value());
 }
 
 TEST(Optimizer, RefinementImprovesOnCoarsePass) {
