@@ -27,6 +27,9 @@ namespace mlck::bench {
 /// --metrics=file.json instruments the run (simulator + thread-pool
 /// counters; docs/OBSERVABILITY.md) and writes the sidecar when the
 /// config is destroyed, i.e. after the driver's sweep finishes.
+/// --trace=file.json likewise records host-side spans (pool tasks, and
+/// the optimizer/engine phases where the driver runs them through the
+/// spec) into a Chrome trace-event file on destruction.
 struct BenchConfig {
   engine::ScenarioSpec spec;
   std::unique_ptr<util::ThreadPool> pool;
@@ -34,7 +37,9 @@ struct BenchConfig {
   bool csv = false;
   std::string plot_prefix;  ///< --plot=prefix writes prefix.dat/.gp
   std::string metrics_path;  ///< --metrics=file writes the sidecar there
+  std::string trace_path;    ///< --trace=file writes the Chrome trace there
   std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::TraceSink> trace_sink;
   /// Keeps the metric pointers installed in spec.sim / spec.optimizer /
   /// the pool alive for the whole sweep.
   std::unique_ptr<engine::ScenarioMetrics> wiring_;
@@ -56,12 +61,13 @@ struct BenchConfig {
     csv = cli.get_bool("csv", false);
     plot_prefix = cli.get_string("plot", "");
     metrics_path = cli.get_string("metrics", "");
+    trace_path = cli.get_string("trace", "");
     const int threads = cli.get_int("threads", 0);
     std::size_t workers = static_cast<std::size_t>(std::max(threads, 0));
-    if (workers == 0 && !metrics_path.empty()) {
+    if (workers == 0 && (!metrics_path.empty() || !trace_path.empty())) {
       // At least two workers for instrumented runs: a one-worker pool
       // degrades to the sequential parallel_for path and would leave the
-      // pool.* metrics at zero.
+      // pool.* metrics (and the per-worker span tracks) at zero.
       workers = std::max(2u, std::thread::hardware_concurrency());
     }
     pool = std::make_unique<util::ThreadPool>(workers);
@@ -71,6 +77,12 @@ struct BenchConfig {
       spec.sim.metrics = &wiring_->sim;
       spec.optimizer.metrics = &wiring_->optimizer;
       pool->attach_metrics(engine::pool_metrics(*registry));
+    }
+    if (!trace_path.empty()) {
+      trace_sink = std::make_unique<obs::TraceSink>();
+      trace_sink->name_current_thread("main");
+      spec.optimizer.trace = trace_sink.get();
+      pool->attach_trace(trace_sink.get());
     }
 
     options.trials = spec.trials;
@@ -83,13 +95,26 @@ struct BenchConfig {
   }
 
   ~BenchConfig() {
-    if (registry == nullptr || metrics_path.empty()) return;
-    try {
-      std::ofstream out(metrics_path);
-      out << registry->to_json().dump(2) << "\n";
-      std::cerr << "[mlck] wrote metrics sidecar " << metrics_path << "\n";
-    } catch (...) {
-      // Best-effort sidecar; never fail the sweep's exit path.
+    // Best-effort sidecars; never fail the sweep's exit path.
+    if (registry != nullptr && !metrics_path.empty()) {
+      try {
+        std::ofstream out(metrics_path);
+        out << registry->to_json().dump(2) << "\n";
+        std::cerr << "[mlck] wrote metrics sidecar " << metrics_path << "\n";
+      } catch (...) {
+      }
+    }
+    if (trace_sink != nullptr && !trace_path.empty()) {
+      try {
+        // The pool must stop before the sink dies: workers hold the sink
+        // pointer and may be mid-span.
+        pool.reset();
+        std::ofstream out(trace_path);
+        out << obs::chrome_trace_json(trace_sink.get(), nullptr).dump(2)
+            << "\n";
+        std::cerr << "[mlck] wrote trace " << trace_path << "\n";
+      } catch (...) {
+      }
     }
   }
 

@@ -20,6 +20,7 @@
 #include "models/registry.h"
 #include "models/young.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/trial_runner.h"
 #include "systems/test_systems.h"
 #include "util/cli.h"
@@ -62,6 +63,20 @@ systems::SystemConfig system_from(const Cli& cli) {
   return core::load_system(*name);
 }
 
+/// Flushes a metrics registry the way every command does: to the sidecar
+/// file named by --metrics=<path>, or as tables after the report when the
+/// flag carries no path.
+void flush_metrics(const obs::MetricsRegistry& registry,
+                   const std::string& path, std::ostream& out) {
+  if (path.empty()) {
+    out << "\nmetrics\n";
+    registry.print(out);
+  } else {
+    core::write_file(path, registry.to_json().dump(2) + "\n");
+    out << "metrics written to " << path << "\n";
+  }
+}
+
 int cmd_systems(std::ostream& out) {
   Table table({"name", "levels", "MTBF (min)", "base time (min)"});
   for (const auto& sys : systems::table1_systems()) {
@@ -79,9 +94,40 @@ int cmd_show(const Cli& cli, std::ostream& out) {
 
 int cmd_optimize(const Cli& cli, std::ostream& out) {
   const auto system = system_from(cli);
-  const auto technique =
-      models::make_technique(cli.get_string("technique", "dauwe"));
-  const auto result = technique->select_plan(system);
+  const std::string technique_name = cli.get_string("technique", "dauwe");
+  const auto metrics_path = cli.value("metrics");
+
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  core::TechniqueResult result;
+  if (metrics_path.has_value()) {
+    // Instrumented search under the standard scenario metric names. The
+    // pool mirrors cmd_scenario's observability rule: at least two
+    // workers, so pool.* reflects the real parallel shape.
+    registry = std::make_unique<obs::MetricsRegistry>();
+    engine::ScenarioMetrics wiring(*registry);
+    util::ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+    pool.attach_metrics(engine::pool_metrics(*registry));
+    if (technique_name == "dauwe") {
+      // Same staged search DauweTechnique runs, driven through the cached
+      // engine so the engine.* counters are exercised; the selected plan
+      // is bit-identical (the engine equivalence tests cover this).
+      engine::EvaluationEngine eng(system);
+      eng.attach_metrics(wiring.engine);
+      core::OptimizerOptions optimizer_options;
+      optimizer_options.metrics = &wiring.optimizer;
+      const core::OptimizationResult best =
+          eng.optimize(optimizer_options, &pool);
+      result.technique = "Dauwe et al.";
+      result.plan = best.plan;
+      result.predicted_time = best.expected_time;
+      result.predicted_efficiency = best.efficiency;
+    } else {
+      result = models::make_technique(technique_name)
+                   ->select_plan(system, &pool);
+    }
+  } else {
+    result = models::make_technique(technique_name)->select_plan(system);
+  }
   Table table({"field", "value"});
   table.add_row({"technique", result.technique});
   table.add_row({"plan", result.plan.to_string()});
@@ -94,6 +140,7 @@ int cmd_optimize(const Cli& cli, std::ostream& out) {
     core::write_file(*path, core::to_json(result.plan).dump(2) + "\n");
     out << "plan written to " << *path << "\n";
   }
+  if (registry) flush_metrics(*registry, *metrics_path, out);
   return 0;
 }
 
@@ -106,14 +153,38 @@ int cmd_predict(const Cli& cli, std::ostream& out) {
   const auto plan = core::plan_from_json(
       util::Json::parse(core::read_file(*plan_path)));
   plan.validate(system);
-  const auto model = make_model(cli.get_string("model", "dauwe"));
-  const auto prediction = model->predict(system, plan);
+  const std::string model_name = cli.get_string("model", "dauwe");
+  const auto metrics_path = cli.value("metrics");
+
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  core::Prediction prediction;
+  if (metrics_path.has_value()) {
+    // Instrumented path. Only the Dauwe model runs through the cached
+    // engine (its engine.* counters move); other models have no
+    // instrumentation points, so their registry reports zeros.
+    registry = std::make_unique<obs::MetricsRegistry>();
+    engine::EngineMetrics wiring;
+    wiring.context_hits = &registry->counter("engine.context_cache.hits");
+    wiring.context_misses =
+        &registry->counter("engine.context_cache.misses");
+    wiring.evaluations = &registry->counter("engine.evaluations");
+    if (model_name == "dauwe") {
+      engine::EvaluationEngine eng(system);
+      eng.attach_metrics(wiring);
+      prediction = eng.predict(plan);
+    } else {
+      prediction = make_model(model_name)->predict(system, plan);
+    }
+  } else {
+    prediction = make_model(model_name)->predict(system, plan);
+  }
   Table table({"field", "value"});
   table.add_row({"plan", plan.to_string()});
   table.add_row({"expected time (min)",
                  Table::num(prediction.expected_time, 2)});
   table.add_row({"efficiency", Table::pct(prediction.efficiency)});
   table.print(out);
+  if (registry) flush_metrics(*registry, *metrics_path, out);
   return 0;
 }
 
@@ -285,16 +356,23 @@ int cmd_scenario(const Cli& cli, std::ostream& out) {
     spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   }
   const auto metrics_path = cli.value("metrics");
+  const auto trace_path = cli.value("trace");
+  if (trace_path && trace_path->empty()) {
+    throw std::out_of_range("--trace requires a file path "
+                            "(--trace=trace.json)");
+  }
   std::unique_ptr<util::ThreadPool> pool;
   // An observability run gets a pool even without --threads, so the
-  // pool.* metrics reflect the real parallel execution shape (results
-  // are thread-count independent by design). At least two workers: a
-  // one-worker pool degrades to the sequential parallel_for path and
-  // would leave every pool.* metric at zero.
+  // pool.* metrics (and the per-worker trace tracks) reflect the real
+  // parallel execution shape (results are thread-count independent by
+  // design). At least two workers: a one-worker pool degrades to the
+  // sequential parallel_for path and would leave every pool.* metric at
+  // zero.
+  const bool observing = metrics_path.has_value() || trace_path.has_value();
   if (const int threads = cli.get_int("threads", 0);
-      threads > 0 || metrics_path.has_value()) {
+      threads > 0 || observing) {
     std::size_t workers = static_cast<std::size_t>(threads > 0 ? threads : 0);
-    if (workers == 0 && metrics_path.has_value()) {
+    if (workers == 0 && observing) {
       workers = std::max(2u, std::thread::hardware_concurrency());
     }
     pool = std::make_unique<util::ThreadPool>(workers);
@@ -304,9 +382,19 @@ int cmd_scenario(const Cli& cli, std::ostream& out) {
     registry = std::make_unique<obs::MetricsRegistry>();
     if (pool) pool->attach_metrics(engine::pool_metrics(*registry));
   }
+  std::unique_ptr<obs::TraceSink> sink;
+  sim::TrialTraceCapture capture;
+  if (trace_path) {
+    sink = std::make_unique<obs::TraceSink>();
+    sink->name_current_thread("main");
+    if (pool) pool->attach_trace(sink.get());
+    capture.max_trials =
+        static_cast<std::size_t>(cli.get_int("trace-trials", 8));
+    spec.sim.capture = &capture;
+  }
 
   const auto outcome = engine::run_scenario(spec, pool.get(),
-                                            registry.get());
+                                            registry.get(), sink.get());
   const auto law = spec.distribution.make(spec.system);
   Table table({"field", "value"});
   table.add_row({"system", spec.system.name});
@@ -331,15 +419,14 @@ int cmd_scenario(const Cli& cli, std::ostream& out) {
                      core::to_json(outcome.selected.plan).dump(2) + "\n");
     out << "plan written to " << *path << "\n";
   }
-  if (registry) {
-    const std::string text = registry->to_json().dump(2) + "\n";
-    if (metrics_path->empty()) {
-      out << "\nmetrics\n";
-      registry->print(out);
-    } else {
-      core::write_file(*metrics_path, text);
-      out << "metrics written to " << *metrics_path << "\n";
-    }
+  if (registry) flush_metrics(*registry, *metrics_path, out);
+  if (sink) {
+    core::write_file(
+        *trace_path,
+        obs::chrome_trace_json(sink.get(), &capture).dump(2) + "\n");
+    out << "trace written to " << *trace_path << " (" << sink->size()
+        << " host spans, " << capture.trials.size()
+        << " captured trials)\n";
   }
   return 0;
 }
@@ -383,15 +470,73 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
   const auto max_events =
       static_cast<std::size_t>(cli.get_int("max-events", 40));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 1));
+  if (trials == 0) throw std::out_of_range("--trials must be >= 1");
+  const std::string format = cli.get_string("format", "table");
+  if (format != "table" && format != "chrome" && format != "jsonl") {
+    throw std::out_of_range("unknown --format (use table|chrome|jsonl)");
+  }
   const core::DauweTechnique technique;
   const auto selected = technique.select_plan(system);
-
-  std::vector<sim::TraceEvent> trace;
   sim::SimOptions opts = sim_options_from(cli);
-  opts.trace = &trace;
-  sim::RandomFailureSource failures(system, util::Rng(seed));
-  const auto result = sim::simulate(system, selected.plan, failures, opts);
 
+  sim::TrialTraceCapture capture;
+  if (trials == 1) {
+    // Single-trial path: the seed drives the failure stream directly
+    // (unchanged from when `trace` only did one trial, so seeds keep
+    // reproducing the same timelines).
+    capture.max_trials = 1;
+    capture.trials.resize(1);
+    opts.trace = &capture.trials[0].events;
+    sim::RandomFailureSource failures(system, util::Rng(seed));
+    capture.trials[0].result =
+        sim::simulate(system, selected.plan, failures, opts);
+    opts.trace = nullptr;
+  } else {
+    // Monte-Carlo batch: trial k's stream is seeded with
+    // derive_stream_seed(seed, k), matching `mlck simulate`.
+    capture.max_trials = trials;
+    opts.capture = &capture;
+    sim::run_trials(system, selected.plan, trials, seed, opts);
+    opts.capture = nullptr;
+  }
+
+  int code = 0;
+  if (cli.get_bool("audit", false)) {
+    for (const auto& trial : capture.trials) {
+      const auto report =
+          obs::audit_trial_trace(system, trial.result, trial.events);
+      if (report.ok()) {
+        out << "trial " << trial.trial << ": audit ok ("
+            << trial.events.size()
+            << " events tile [0, total_time]; breakdown reconstructed "
+               "bit-for-bit)\n";
+      } else {
+        code = 1;
+        out << "trial " << trial.trial << ": audit FAILED\n";
+        for (const auto& error : report.errors) {
+          out << "  " << error << "\n";
+        }
+      }
+    }
+  }
+
+  if (format != "table") {
+    const std::string text =
+        format == "chrome"
+            ? obs::chrome_trace_json(nullptr, &capture).dump(2) + "\n"
+            : obs::trace_jsonl(nullptr, &capture);
+    if (const auto path = cli.value("out"); path && !path->empty()) {
+      core::write_file(*path, text);
+      out << "trace written to " << *path << "\n";
+    } else {
+      out << text;
+    }
+    return code;
+  }
+
+  const auto& trace = capture.trials[0].events;
+  const auto& result = capture.trials[0].result;
   out << "plan " << selected.plan.to_string() << "\n";
   Table table({"t (min)", "event", "level", "duration", "outcome"});
   const char* names[] = {"compute", "checkpoint", "restart",
@@ -405,7 +550,7 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
     }
     const std::string outcome = [&]() -> std::string {
       if (ev.completed) return "ok";
-      if (ev.failure_severity < 0) {
+      if (ev.truncated_by_cap) {
         return "capped";  // truncated at the time cap, no failure
       }
       return "failed (severity " +
@@ -419,7 +564,7 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
   out << "total " << Table::num(result.total_time, 1) << " min, efficiency "
       << Table::pct(result.efficiency()) << ", " << trace.size()
       << " events\n";
-  return 0;
+  return code;
 }
 
 }  // namespace

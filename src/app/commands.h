@@ -14,28 +14,46 @@ namespace mlck::app {
 ///   mlck systems
 ///   mlck show     --system=<name|file.json>
 ///   mlck optimize --system=... [--technique=dauwe] [--out=plan.json]
+///                 [--metrics[=metrics.json]]
 ///   mlck predict  --system=... --plan=plan.json [--model=dauwe]
+///                 [--metrics[=metrics.json]]
 ///   mlck simulate --system=... (--plan=plan.json | --technique=dauwe |
 ///                 --intervals=schedule.json) [--adaptive]
 ///                 [--trials=200] [--seed=1] [--policy=retry|escalate]
 ///   mlck compare  --system=... [--trials=100]
 ///   mlck energy   --system=... [--checkpoint-power=0.7] [--restart-power=0.6]
 ///   mlck sensitivity --system=... [--technique=dauwe]
-///   mlck trace    --system=... [--seed=4] [--max-events=40]
+///   mlck trace    --system=... [--seed=4] [--max-events=40] [--trials=1]
+///                 [--format=table|chrome|jsonl] [--audit] [--out=trace.json]
 ///   mlck scenario --spec=scenario.json [--trials=...] [--seed=...]
 ///                 [--threads=0] [--out=plan.json]
 ///                 [--metrics[=metrics.json]]
+///                 [--trace=trace.json] [--trace-trials=8]
 ///   mlck scenario --system=... --emit-spec[=scenario.json]
 ///
 /// `scenario` drives one declarative engine::ScenarioSpec end to end:
 /// plan selection through the cached evaluation engine, then Monte-Carlo
 /// validation under the spec's failure distribution. `--emit-spec` writes
 /// a complete spec document for the given system to start from.
-/// `--metrics=file.json` writes an observability sidecar (engine cache,
-/// optimizer sweep, simulator, and thread-pool counters; schema and
-/// metric names in docs/OBSERVABILITY.md) next to the results; with no
-/// file the metrics tables are printed after the report. Instrumentation
-/// is observe-only: results are identical with and without it.
+/// `--metrics=file.json` (on `scenario`, `optimize`, and `predict`)
+/// writes an observability sidecar (engine cache, optimizer sweep,
+/// simulator, and thread-pool counters; schema and metric names in
+/// docs/OBSERVABILITY.md) next to the results; with no file the metrics
+/// tables are printed after the report. Instrumentation is observe-only:
+/// results are identical with and without it.
+///
+/// `scenario --trace=trace.json` writes a Chrome trace-event JSON file
+/// (loadable in Perfetto / chrome://tracing) with host-side spans — plan
+/// selection, optimizer sweep slices, context builds, pool tasks — one
+/// track per pool worker, plus the event streams of the first
+/// `--trace-trials` simulated trials, one track per trial.
+///
+/// `trace` replays one deterministic trial (or `--trials=K` with derived
+/// per-trial seeds) of the Dauwe-selected plan. `--format` picks the
+/// event table, Chrome trace JSON, or JSONL; `--audit` replays each
+/// captured stream through obs::audit_trial_trace and exits 1 unless the
+/// events tile [0, total_time] and rebuild the trial's SimBreakdown
+/// bit-for-bit (docs/OBSERVABILITY.md, "Tracing").
 ///
 /// `--system` accepts a Table I name (M, B, D1..D9) or a path to a JSON
 /// system document (see core/serialize.h for the schema).

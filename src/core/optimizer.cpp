@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/dauwe_kernel.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace mlck::core {
@@ -206,14 +207,18 @@ OptimizationResult optimize_impl(const MakeEvaluator& make_evaluator,
   };
   const std::size_t nt = taus.size();
   std::vector<Slot> slot(subsets.size() * nt);
-  util::parallel_for(pool, slot.size(), [&](std::size_t idx) {
-    const std::size_t si = idx / nt;
-    auto slice = evaluator[si].slice();
-    std::vector<int> counts(subsets[si].size() - 1, 0);
-    Slot& s = slot[idx];
-    sweep_slice(slice, taus[idx % nt], system.base_time, ladder, counts,
-                s.best, s.evals, s.pruned);
-  });
+  {
+    obs::Span coarse(options.trace, "optimizer.coarse_sweep", "optimizer");
+    util::parallel_for(pool, slot.size(), [&](std::size_t idx) {
+      obs::Span span(options.trace, "optimizer.sweep_slice", "optimizer");
+      const std::size_t si = idx / nt;
+      auto slice = evaluator[si].slice();
+      std::vector<int> counts(subsets[si].size() - 1, 0);
+      Slot& s = slot[idx];
+      sweep_slice(slice, taus[idx % nt], system.base_time, ladder, counts,
+                  s.best, s.evals, s.pruned);
+    });
+  }
 
   Candidate global;
   std::vector<int> global_levels;
@@ -236,6 +241,7 @@ OptimizationResult optimize_impl(const MakeEvaluator& make_evaluator,
 
     // Refinement: coordinate descent over tau0 and each count, evaluated
     // against the same per-subset evaluator as the coarse pass.
+    obs::Span refine_span(options.trace, "optimizer.refine", "optimizer");
     static constexpr double kTauFactors[] = {0.80, 0.90, 0.95, 0.98,
                                              1.02, 1.05, 1.10, 1.25};
     static constexpr int kCountSteps[] = {-4, -2, -1, 1, 2, 4};

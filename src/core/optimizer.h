@@ -56,6 +56,12 @@ struct OptimizerOptions {
   /// Observe-only counters for the search (docs/OBSERVABILITY.md).
   /// Non-owning; ignored by JSON (de)serialization and by comparisons.
   OptimizerMetrics* metrics = nullptr;
+
+  /// Observe-only span sink for the search phases ("optimizer.coarse_sweep",
+  /// "optimizer.sweep_slice", "optimizer.refine"; docs/OBSERVABILITY.md).
+  /// Same contract as metrics: non-owning, null skips all instrumentation,
+  /// results are bit-identical either way.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Outcome of an interval search.

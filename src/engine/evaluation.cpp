@@ -44,6 +44,7 @@ const EvaluationContext& EvaluationEngine::context(
     if (metrics_.context_hits != nullptr) metrics_.context_hits->add();
     return *ctx;
   }
+  obs::Span span(trace_, "engine.context_build", "engine");
   auto* node = new ContextNode(system_, levels, options_,
                                head_.load(std::memory_order_relaxed));
   head_.store(node, std::memory_order_release);

@@ -8,6 +8,7 @@
 #include "core/dauwe_kernel.h"
 #include "core/optimizer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "systems/system_config.h"
 #include "util/thread_pool.h"
 
@@ -98,6 +99,12 @@ class EvaluationEngine {
   /// engine). Call before sharing the engine across threads.
   void attach_metrics(const EngineMetrics& metrics) { metrics_ = metrics; }
 
+  /// Attaches a span sink: each on-demand context build is recorded as an
+  /// "engine.context_build" span (docs/OBSERVABILITY.md). Observe-only;
+  /// null detaches; the sink must outlive the engine. Call before sharing
+  /// the engine across threads.
+  void attach_trace(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   /// One cache entry. Nodes are heap-allocated, published once with a
   /// release store of head_, and never modified or freed before the
@@ -117,6 +124,7 @@ class EvaluationEngine {
   systems::SystemConfig system_;
   core::DauweOptions options_;
   EngineMetrics metrics_;
+  obs::TraceSink* trace_ = nullptr;
   mutable std::mutex mutex_;  ///< serializes context *builds* only
   /// Append-only singly-linked list of every built context; the few-entry
   /// linear walk (one node per level subset, <= levels of the system)

@@ -241,7 +241,8 @@ util::ThreadPoolMetrics pool_metrics(obs::MetricsRegistry& registry) {
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec,
                              util::ThreadPool* pool,
-                             obs::MetricsRegistry* metrics) {
+                             obs::MetricsRegistry* metrics,
+                             obs::TraceSink* trace) {
   spec.validate();
   ScenarioOutcome outcome;
 
@@ -255,23 +256,29 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
     optimizer_options.metrics = &wiring->optimizer;
     sim_options.metrics = &wiring->sim;
   }
+  optimizer_options.trace = trace;
 
-  if (spec.model == "dauwe") {
-    // The cached fast path: one engine, contexts shared across the whole
-    // sweep and refinement.
-    EvaluationEngine engine = spec.make_engine();
-    if (wiring) engine.attach_metrics(wiring->engine);
-    const core::OptimizationResult best =
-        engine.optimize(optimizer_options, pool);
-    outcome.selected.technique = "Dauwe et al.";
-    outcome.selected.plan = best.plan;
-    outcome.selected.predicted_time = best.expected_time;
-    outcome.selected.predicted_efficiency = best.efficiency;
-  } else {
-    const auto technique = models::make_technique(spec.model);
-    outcome.selected = technique->select_plan(spec.system, pool);
+  {
+    obs::Span span(trace, "scenario.select_plan", "scenario");
+    if (spec.model == "dauwe") {
+      // The cached fast path: one engine, contexts shared across the whole
+      // sweep and refinement.
+      EvaluationEngine engine = spec.make_engine();
+      if (wiring) engine.attach_metrics(wiring->engine);
+      engine.attach_trace(trace);
+      const core::OptimizationResult best =
+          engine.optimize(optimizer_options, pool);
+      outcome.selected.technique = "Dauwe et al.";
+      outcome.selected.plan = best.plan;
+      outcome.selected.predicted_time = best.expected_time;
+      outcome.selected.predicted_efficiency = best.efficiency;
+    } else {
+      const auto technique = models::make_technique(spec.model);
+      outcome.selected = technique->select_plan(spec.system, pool);
+    }
   }
 
+  obs::Span span(trace, "scenario.simulate", "scenario");
   if (spec.distribution.is_default_exponential()) {
     // Native Poisson source: bit-compatible with pre-scenario seeds.
     outcome.stats =

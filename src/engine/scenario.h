@@ -118,8 +118,15 @@ util::ThreadPoolMetrics pool_metrics(obs::MetricsRegistry& registry);
 /// When @p metrics is non-null the run is instrumented under the standard
 /// ScenarioMetrics names; results are bit-identical either way
 /// (instrumentation is observe-only).
+///
+/// When @p trace is non-null the selection stages emit host-side spans
+/// ("scenario.select_plan", "scenario.simulate", plus the optimizer and
+/// engine spans; docs/OBSERVABILITY.md) into it — also observe-only. To
+/// capture simulator event streams, point spec.sim.capture at a
+/// sim::TrialTraceCapture; the caller owns both.
 ScenarioOutcome run_scenario(const ScenarioSpec& spec,
                              util::ThreadPool* pool = nullptr,
-                             obs::MetricsRegistry* metrics = nullptr);
+                             obs::MetricsRegistry* metrics = nullptr,
+                             obs::TraceSink* trace = nullptr);
 
 }  // namespace mlck::engine

@@ -92,6 +92,53 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Approximate q-quantile (q in [0, 1]) from the power-of-two buckets:
+  /// locates the bucket holding the nearest-rank sample (rank
+  /// ceil(q * count)), then interpolates linearly across that bucket's
+  /// span, with the bucket edges clamped to the recorded [min(), max()].
+  /// Exact when every sample in the target bucket has one value (e.g. a
+  /// single-sample histogram, or min == max within the bucket); otherwise
+  /// the estimate and the true quantile share a bucket, so the estimate
+  /// is within a factor of 2 of the true value (the bucket's edge ratio;
+  /// see docs/OBSERVABILITY.md for the bound). NaN when empty.
+  double quantile_estimate(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Nearest-rank: the smallest sample with at least ceil(q * n) samples
+    // at or below it.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint64_t in_bucket = bucket_count(i);
+      if (in_bucket == 0) continue;
+      if (seen + in_bucket < rank) {
+        seen += in_bucket;
+        continue;
+      }
+      // Bucket i spans (2^(i-1), 2^i]; clamp to the observed extremes so
+      // the estimate never leaves [min, max] (and the unbounded last
+      // bucket and the catch-all bucket 0 get finite edges).
+      double lo = i == 0 ? 0.0 : bucket_upper_bound(i - 1);
+      double hi = bucket_upper_bound(i);
+      const double lo_clamp = min();
+      const double hi_clamp = max();
+      if (lo < lo_clamp) lo = lo_clamp;
+      if (hi > hi_clamp) hi = hi_clamp;
+      if (hi < lo) hi = lo;  // whole bucket collapsed by the clamps
+      // Linear interpolation at the rank's position inside the bucket;
+      // with one sample in the bucket this lands on hi (= the sample when
+      // the clamps pinned it).
+      const double f = static_cast<double>(rank - seen) /
+                       static_cast<double>(in_bucket);
+      return lo + (hi - lo) * f;
+    }
+    return max();  // unreachable with a consistent count; defensive
+  }
+
   /// Inclusive upper bound of bucket @p i (2^i; the last bucket is
   /// unbounded and reports +inf).
   static double bucket_upper_bound(std::size_t i) noexcept {

@@ -67,6 +67,11 @@ util::Json MetricsRegistry::to_json() const {
       if (n > 0) {
         entry["min"] = util::Json(h->min());
         entry["max"] = util::Json(h->max());
+        // Bucket-interpolated estimates (error bound documented in
+        // docs/OBSERVABILITY.md).
+        entry["p50"] = util::Json(h->quantile_estimate(0.50));
+        entry["p90"] = util::Json(h->quantile_estimate(0.90));
+        entry["p99"] = util::Json(h->quantile_estimate(0.99));
       }
       util::Json::Array buckets;
       for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {

@@ -1,0 +1,207 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/accounting.h"
+#include "util/json.h"
+
+// Forward declarations keep this header includable from util (the thread
+// pool emits spans) without pulling the simulator headers into low-level
+// translation units; trace.cpp includes the full definitions. The obs
+// library uses only the header-visible POD simulator types, so no link
+// dependency on mlck_sim is created (same compile-only arrangement as
+// obs/metrics.h, in the other direction).
+namespace mlck::systems {
+struct SystemConfig;
+}
+namespace mlck::sim {
+struct TraceEvent;
+struct TrialTraceCapture;
+}  // namespace mlck::sim
+
+namespace mlck::obs {
+
+/// Structured host-side tracing, following the same contract as the
+/// metric primitives (docs/OBSERVABILITY.md):
+///  * **observe-only** — spans never feed back into model or simulation
+///    arithmetic; results are bit-identical with and without a sink;
+///  * **null-by-default** — every instrumentation site holds a TraceSink
+///    pointer that is null unless tracing was requested, and a null sink
+///    costs one predictable branch (no clock read, no allocation);
+///  * thread-safe — spans may be recorded concurrently from pool workers.
+
+/// One completed host-side span: a named phase on one thread, with start
+/// and end as microsecond offsets from the owning sink's epoch.
+struct SpanEvent {
+  std::string name;      ///< phase name ("optimizer.coarse_sweep", ...)
+  std::string category;  ///< coarse grouping ("engine", "optimizer", ...)
+  int thread_id = 0;     ///< stable per-sink thread id, first-seen order
+  double start_us = 0.0;
+  double end_us = 0.0;
+};
+
+/// Thread-safe collector of completed spans. The sink assigns each
+/// recording thread a stable small integer id in first-seen order (the
+/// Chrome-export track id); threads may claim a human-readable track name
+/// once via name_current_thread. Header-only (like the metric primitives
+/// in obs/metrics.h) so util-layer code can record spans without a link
+/// dependency on the obs library.
+class TraceSink {
+ public:
+  TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// All span timestamps are offsets from this instant.
+  std::chrono::steady_clock::time_point epoch() const noexcept {
+    return epoch_;
+  }
+
+  /// Appends a completed span for the calling thread.
+  void record(std::string name, std::string category,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end) {
+    using us = std::chrono::duration<double, std::micro>;
+    const double start_us = us(start - epoch_).count();
+    const double end_us = us(end - epoch_).count();
+    std::lock_guard<std::mutex> lock(mutex_);
+    SpanEvent ev;
+    ev.name = std::move(name);
+    ev.category = std::move(category);
+    ev.thread_id = thread_slot_locked();
+    ev.start_us = start_us;
+    ev.end_us = end_us;
+    events_.push_back(std::move(ev));
+  }
+
+  /// Names the calling thread's export track ("pool worker 3"). First
+  /// writer wins; later calls are no-ops, so per-task callers need not
+  /// guard it.
+  void name_current_thread(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    names_.emplace(thread_slot_locked(), name);  // first writer wins
+  }
+
+  /// Snapshot of everything recorded so far, in completion order.
+  std::vector<SpanEvent> events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+  /// Track names claimed so far, keyed by thread id.
+  std::map<int, std::string> thread_names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return names_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+
+ private:
+  /// Id of the calling thread; assigned on first use (mutex_ held).
+  int thread_slot_locked() {
+    const auto [it, inserted] = ids_.emplace(std::this_thread::get_id(),
+                                             static_cast<int>(ids_.size()));
+    (void)inserted;
+    return it->second;
+  }
+
+  mutable std::mutex mutex_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::map<std::thread::id, int> ids_;
+  std::map<int, std::string> names_;
+  std::vector<SpanEvent> events_;
+};
+
+/// RAII span: construction stamps the start, destruction records the
+/// completed SpanEvent. Null-safe: with sink == nullptr neither the clock
+/// is read nor anything recorded.
+class Span {
+ public:
+  Span(TraceSink* sink, std::string name, std::string category)
+      : sink_(sink), name_(std::move(name)), category_(std::move(category)) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~Span() {
+    if (sink_ != nullptr) {
+      sink_->record(std::move(name_), std::move(category_), start_,
+                    std::chrono::steady_clock::now());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSink* sink_;
+  std::string name_;
+  std::string category_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// ---- Exporters ---------------------------------------------------------
+
+/// Chrome trace-event JSON (the `{"traceEvents": [...]}` array-of-events
+/// form), loadable in Perfetto / chrome://tracing. Either argument may be
+/// null. Host spans land in process 1 ("mlck host"), one track per
+/// recording thread (pool workers appear as separate tracks); captured
+/// simulator trials land in process 2 ("mlck simulator"), one track per
+/// trial, with one simulated minute rendered as one second (ts in
+/// microseconds = minutes x 1e6) and the raw event fields (completed,
+/// failure_severity, truncated_by_cap, work) attached as args. Events are
+/// sorted by (pid, tid, ts), so timestamps are monotonic per track.
+util::Json chrome_trace_json(const TraceSink* host,
+                             const sim::TrialTraceCapture* trials);
+
+/// Line-delimited JSON for scripting: one object per line, host spans as
+/// {"type":"span",...} then simulator events as {"type":"sim_event",...}
+/// with times in the source units (microseconds / minutes).
+std::string trace_jsonl(const TraceSink* host,
+                        const sim::TrialTraceCapture* trials);
+
+/// ---- Trace auditor -----------------------------------------------------
+
+/// Outcome of auditing one trial's event stream against its result.
+struct TraceAuditReport {
+  /// Human-readable violations; empty means the trace conserves time.
+  std::vector<std::string> errors;
+  /// The breakdown reconstructed from the events alone (plus the
+  /// system's per-level costs); compared bit-for-bit against the trial's
+  /// SimBreakdown.
+  sim::SimBreakdown reconstructed;
+
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Replays a trial's TraceEvent stream and checks the simulator's
+/// conservation invariants:
+///  * events tile [0, total_time] exactly — each event starts bit-for-bit
+///    where the previous one ended, the first starts at 0, the last ends
+///    at total_time, and no event runs backwards;
+///  * the breakdown reconstructed from the stream equals the trial's
+///    SimBreakdown bit-for-bit in every bucket, including cap-truncation
+///    attribution (a truncated checkpoint/restart charges its
+///    failed-attempt bucket, truncated computation counts as useful) and
+///    scratch-restart rollbacks;
+///  * event counts match the TrialResult counters (failures, completed
+///    checkpoints, completed/failed restarts, scratch restarts), and a
+///    truncated_by_cap event implies result.capped.
+///
+/// The reconstruction uses only the event stream, the per-event committed
+/// work annotations, and @p system's per-level checkpoint/restart costs —
+/// it never consults the schedule, the failure source, or the restart
+/// policy, so it is an independent accounting of where the simulator said
+/// the time went.
+TraceAuditReport audit_trial_trace(const systems::SystemConfig& system,
+                                   const sim::TrialResult& result,
+                                   const std::vector<sim::TraceEvent>& events);
+
+}  // namespace mlck::obs

@@ -55,6 +55,7 @@ class Runner {
         // checkpointed; counting it useful keeps the accounting identity
         // and the efficiency metric consistent for capped trials.
         work_ += ph.elapsed;
+        annotate_trace_work();
         break;
       }
       if (!ph.completed) {
@@ -62,8 +63,10 @@ class Runner {
         continue;
       }
       work_ = target;
-      if (work_ >= base - 1e-9) {
-        work_ = base;
+      const bool at_end = work_ >= base - 1e-9;
+      if (at_end) work_ = base;
+      annotate_trace_work();
+      if (at_end) {
         if (!opts_.take_final_checkpoint) break;
         if (do_checkpoint(used_count() - 1)) break;
         continue;  // final checkpoint failed; some work was rolled back
@@ -142,10 +145,23 @@ class Runner {
       advance_failure_clock();
     }
     if (opts_.trace != nullptr) {
-      opts_.trace->push_back(TraceEvent{kind, start, now_, level,
-                                        ph.completed, ph.severity});
+      TraceEvent ev{kind, start, now_, level, ph.completed, ph.severity};
+      ev.truncated_by_cap = truncated_by_cap(ph);
+      // Provisional; sites that change work_ while handling this phase
+      // re-annotate via annotate_trace_work before the next event.
+      ev.work = work_;
+      last_trace_index_ = opts_.trace->size();
+      opts_.trace->push_back(ev);
     }
     return ph;
+  }
+
+  /// Stamps the most recent trace event with the current committed work,
+  /// once the phase's failure handling (rollback, restore) has settled.
+  void annotate_trace_work() {
+    if (opts_.trace != nullptr) {
+      (*opts_.trace)[last_trace_index_].work = work_;
+    }
   }
 
   /// Attempts the checkpoint of used-level @p h; on success refreshes all
@@ -230,6 +246,7 @@ class Runner {
     // mid-recovery does not count the discarded work as useful *and* as
     // rework.
     work_ = restore_work;
+    annotate_trace_work();
     perform_recovery(target);
   }
 
@@ -268,6 +285,7 @@ class Runner {
         result_.breakdown.restart_ok += cost;
         ++result_.restarts_completed;
         work_ = ckpt_[static_cast<std::size_t>(e)].work;
+        annotate_trace_work();
         return;
       }
       result_.breakdown.restart_failed += ph.elapsed;
@@ -304,6 +322,7 @@ class Runner {
           next ? ckpt_[static_cast<std::size_t>(*next)].work : 0.0;
       add_rework(Cause::kRestart, old_work - new_work);
       work_ = new_work;
+      annotate_trace_work();
       target = next;
     }
   }
@@ -321,6 +340,9 @@ class Runner {
 
   double work_ = 0.0;  ///< committed useful work (minutes)
   double compute_time_ = 0.0;
+  /// Index of the most recent run_phase trace event (valid only while
+  /// opts_.trace is non-null; see annotate_trace_work).
+  std::size_t last_trace_index_ = 0;
 
   std::vector<CheckpointSlot> ckpt_;  ///< per used level
   TrialResult result_;

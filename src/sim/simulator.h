@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/adaptive.h"
@@ -46,8 +47,10 @@ enum class RestartPolicy {
 };
 
 /// One recorded simulator event, in wall-clock order. Tracing is opt-in
-/// (SimOptions::trace) and intended for debugging, tests, and the
-/// trace_viewer example; it does not affect simulation results.
+/// (SimOptions::trace / SimOptions::capture) and observe-only: it never
+/// affects simulation results. The stream is a complete account of the
+/// trial — obs::audit_trial_trace checks that it tiles [0, total_time]
+/// and reconstructs the trial's SimBreakdown from it bit-for-bit.
 struct TraceEvent {
   enum class Kind {
     kCompute,         ///< a computation segment (possibly interrupted)
@@ -61,6 +64,36 @@ struct TraceEvent {
   int system_level = -1;  ///< checkpoint/restart level; -1 for compute
   bool completed = true;  ///< false when a failure cut the phase short
   int failure_severity = -1;  ///< severity of the interrupting failure
+  /// True when the phase was cut short by the wall-clock cap rather than
+  /// a failure (completed == false, failure_severity == -1, and the trial
+  /// is reported capped). Explicit so auditors and exporters classify
+  /// truncation without severity heuristics.
+  bool truncated_by_cap = false;
+  /// Committed useful work (minutes) after this event *and* its failure
+  /// handling: a failed phase records the post-rollback position, a
+  /// completed restart the restored checkpoint's position. Makes the
+  /// stream self-contained for exact replay (obs::audit_trial_trace).
+  double work = 0.0;
+};
+
+/// One captured trial from a Monte-Carlo batch: its index, result, and
+/// full event stream.
+struct TrialTrace {
+  std::size_t trial = 0;
+  TrialResult result;
+  std::vector<TraceEvent> events;
+};
+
+/// Bounded, deterministic multi-trial trace capture for sim::run_trials:
+/// the first max_trials trials *by trial index* record their event
+/// streams into trials[index]. Each trial writes only its own
+/// preallocated slot, so the capture is stable regardless of thread count
+/// or pool scheduling, and results are bit-identical with or without it.
+struct TrialTraceCapture {
+  std::size_t max_trials = 8;
+  /// Resized by run_trials to min(max_trials, trials) and filled in
+  /// trial-index order.
+  std::vector<TrialTrace> trials;
 };
 
 /// Simulation controls.
@@ -87,6 +120,12 @@ struct SimOptions {
   /// When non-null, every phase is appended here as a TraceEvent.
   /// Non-owning; must outlive the simulate() call.
   std::vector<TraceEvent>* trace = nullptr;
+
+  /// Multi-trial capture consumed by sim::run_trials (simulate() ignores
+  /// it): when non-null, run_trials routes each captured trial's trace
+  /// into its own slot, overriding `trace` for those trials. Non-owning;
+  /// ignored by JSON (de)serialization, never read by the simulation.
+  TrialTraceCapture* capture = nullptr;
 
   /// Observe-only Monte-Carlo counters (docs/OBSERVABILITY.md). Non-owning;
   /// ignored by JSON (de)serialization, never read by the simulation.

@@ -1,5 +1,6 @@
 #include "sim/trial_runner.h"
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
@@ -11,15 +12,45 @@ namespace mlck::sim {
 namespace {
 
 /// Shared Monte-Carlo skeleton: @p run_one executes trial k with its own
-/// derived RNG stream; aggregation is serial and deterministic.
-/// @p metrics (from SimOptions) is recorded here, after the parallel
-/// phase, so instrumentation never touches the trial state machines.
+/// derived RNG stream and an options copy prepared here; aggregation is
+/// serial and deterministic. Metrics (from SimOptions) are recorded after
+/// the parallel phase, so instrumentation never touches the trial state
+/// machines. When options.capture is set, the first
+/// min(capture->max_trials, trials) trials *by index* trace into their
+/// own preallocated slots — each trial writes only capture->trials[k], so
+/// the capture is identical regardless of pool size or scheduling (and
+/// the shared options.trace pointer, racy across concurrent trials, is
+/// suppressed for the batch).
 TrialStats aggregate_trials(
-    std::size_t trials, util::ThreadPool* pool, const SimMetrics* metrics,
-    const std::function<TrialResult(std::size_t)>& run_one) {
+    std::size_t trials, util::ThreadPool* pool, const SimOptions& options,
+    const std::function<TrialResult(std::size_t, const SimOptions&)>&
+        run_one) {
+  const SimMetrics* metrics = options.metrics;
+  TrialTraceCapture* capture = options.capture;
+  if (capture != nullptr) {
+    capture->trials.assign(std::min(capture->max_trials, trials),
+                           TrialTrace{});
+    for (std::size_t k = 0; k < capture->trials.size(); ++k) {
+      capture->trials[k].trial = k;
+    }
+  }
   std::vector<TrialResult> results(trials);
-  util::parallel_for(pool, trials,
-                     [&](std::size_t k) { results[k] = run_one(k); });
+  util::parallel_for(pool, trials, [&](std::size_t k) {
+    if (capture == nullptr) {
+      results[k] = run_one(k, options);
+      return;
+    }
+    SimOptions opts = options;
+    opts.capture = nullptr;
+    opts.trace =
+        k < capture->trials.size() ? &capture->trials[k].events : nullptr;
+    results[k] = run_one(k, opts);
+  });
+  if (capture != nullptr) {
+    for (std::size_t k = 0; k < capture->trials.size(); ++k) {
+      capture->trials[k].result = results[k];
+    }
+  }
 
   TrialStats stats;
   stats.trials = trials;
@@ -87,44 +118,49 @@ TrialStats run_trials(const systems::SystemConfig& system,
                       const core::CheckpointPlan& plan, std::size_t trials,
                       std::uint64_t seed, const SimOptions& options,
                       util::ThreadPool* pool) {
-  return aggregate_trials(trials, pool, options.metrics, [&](std::size_t k) {
-    RandomFailureSource failures(
-        system, util::Rng(util::derive_stream_seed(seed, k)));
-    return simulate(system, plan, failures, options);
-  });
+  return aggregate_trials(
+      trials, pool, options, [&](std::size_t k, const SimOptions& opts) {
+        RandomFailureSource failures(
+            system, util::Rng(util::derive_stream_seed(seed, k)));
+        return simulate(system, plan, failures, opts);
+      });
 }
 
 TrialStats run_trials(const systems::SystemConfig& system,
                       const core::IntervalSchedule& schedule,
                       std::size_t trials, std::uint64_t seed,
                       const SimOptions& options, util::ThreadPool* pool) {
-  return aggregate_trials(trials, pool, options.metrics, [&](std::size_t k) {
-    RandomFailureSource failures(
-        system, util::Rng(util::derive_stream_seed(seed, k)));
-    return simulate(system, schedule, failures, options);
-  });
+  return aggregate_trials(
+      trials, pool, options, [&](std::size_t k, const SimOptions& opts) {
+        RandomFailureSource failures(
+            system, util::Rng(util::derive_stream_seed(seed, k)));
+        return simulate(system, schedule, failures, opts);
+      });
 }
 
 TrialStats run_trials(const systems::SystemConfig& system,
                       const core::AdaptiveSchedule& schedule,
                       std::size_t trials, std::uint64_t seed,
                       const SimOptions& options, util::ThreadPool* pool) {
-  return aggregate_trials(trials, pool, options.metrics, [&](std::size_t k) {
-    RandomFailureSource failures(
-        system, util::Rng(util::derive_stream_seed(seed, k)));
-    return simulate(system, schedule, failures, options);
-  });
+  return aggregate_trials(
+      trials, pool, options, [&](std::size_t k, const SimOptions& opts) {
+        RandomFailureSource failures(
+            system, util::Rng(util::derive_stream_seed(seed, k)));
+        return simulate(system, schedule, failures, opts);
+      });
 }
 
 TrialStats run_trials_with_distribution(
     const systems::SystemConfig& system, const core::CheckpointPlan& plan,
     const math::FailureDistribution& interarrival, std::size_t trials,
     std::uint64_t seed, const SimOptions& options, util::ThreadPool* pool) {
-  return aggregate_trials(trials, pool, options.metrics, [&](std::size_t k) {
-    RenewalFailureSource failures(
-        system, interarrival, util::Rng(util::derive_stream_seed(seed, k)));
-    return simulate(system, plan, failures, options);
-  });
+  return aggregate_trials(
+      trials, pool, options, [&](std::size_t k, const SimOptions& opts) {
+        RenewalFailureSource failures(
+            system, interarrival,
+            util::Rng(util::derive_stream_seed(seed, k)));
+        return simulate(system, plan, failures, opts);
+      });
 }
 
 }  // namespace mlck::sim

@@ -28,6 +28,10 @@ struct TrialStats {
 /// from a RandomFailureSource seeded with derive_stream_seed(seed, k), so
 /// results are reproducible and independent of both thread count and
 /// execution order. @p pool, when provided, runs trials concurrently.
+/// options.capture, when set, records the event streams of the first
+/// capture->max_trials trials by index (deterministic under any pool
+/// scheduling); options.trace is ignored for the batch in that case, as a
+/// single shared event vector cannot be written concurrently.
 TrialStats run_trials(const systems::SystemConfig& system,
                       const core::CheckpointPlan& plan, std::size_t trials,
                       std::uint64_t seed, const SimOptions& options = {},

@@ -11,7 +11,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -51,10 +51,17 @@ void ThreadPool::attach_metrics(const ThreadPoolMetrics& metrics) {
   metrics_ = metrics;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::attach_trace(obs::TraceSink* sink) {
+  std::lock_guard lock(mutex_);
+  trace_ = sink;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  obs::TraceSink* named_sink = nullptr;  // claim the track name once
   for (;;) {
     std::function<void()> task;
     ThreadPoolMetrics metrics;
+    obs::TraceSink* trace = nullptr;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(lock,
@@ -64,10 +71,17 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
       metrics = metrics_;
+      trace = trace_;
+    }
+    if (trace != nullptr && trace != named_sink) {
+      trace->name_current_thread("pool worker " +
+                                 std::to_string(worker_index));
+      named_sink = trace;
     }
     std::exception_ptr error;
     {
       obs::ScopedTimer timer(metrics.task_latency_us);
+      obs::Span span(trace, "pool.task", "pool");
       try {
         task();
       } catch (...) {

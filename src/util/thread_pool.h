@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mlck::util {
 
@@ -58,11 +59,18 @@ class ThreadPool {
   /// copies the pointers, which must outlive it.
   void attach_metrics(const ThreadPoolMetrics& metrics);
 
+  /// Attaches a span sink: each executed task is recorded as a
+  /// "pool.task" span on its worker's track, and workers claim
+  /// "pool worker N" track names. Null detaches. Same contract as
+  /// attach_metrics: observe-only, call before submitting work, the sink
+  /// must outlive the pool.
+  void attach_trace(obs::TraceSink* sink);
+
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::mutex mutex_;
   std::condition_variable work_available_;
@@ -72,6 +80,7 @@ class ThreadPool {
   bool stopping_ = false;
   std::exception_ptr first_exception_;  ///< guarded by mutex_
   ThreadPoolMetrics metrics_;           ///< written under mutex_
+  obs::TraceSink* trace_ = nullptr;     ///< written under mutex_
   std::vector<std::thread> workers_;
 };
 

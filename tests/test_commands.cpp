@@ -138,6 +138,98 @@ TEST(Commands, TraceShowsTimeline) {
   EXPECT_NE(r.out.find("efficiency"), std::string::npos);
 }
 
+TEST(Commands, TraceAuditPassesOnCapturedTrials) {
+  const auto r = run({"trace", "--system=B", "--trials=3", "--audit"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trial 0: audit ok"), std::string::npos);
+  EXPECT_NE(r.out.find("trial 2: audit ok"), std::string::npos);
+  EXPECT_EQ(r.out.find("FAILED"), std::string::npos);
+}
+
+TEST(Commands, TraceChromeFormatWritesLoadableJson) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mlck_cmd_trace.json")
+          .string();
+  const auto r = run({"trace", "--system=D3", "--format=chrome",
+                      "--out=" + path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto doc = util::Json::parse(core::read_file(path));
+  EXPECT_FALSE(doc.at("traceEvents").as_array().empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Commands, TraceJsonlFormatStreamsParseableLines) {
+  const auto r = run({"trace", "--system=D3", "--format=jsonl"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::istringstream lines(r.out);
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_NO_THROW(util::Json::parse(line)) << line;
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 0u);
+}
+
+TEST(Commands, TraceRejectsUnknownFormat) {
+  const auto r = run({"trace", "--system=D3", "--format=xml"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--format"), std::string::npos);
+}
+
+TEST(Commands, OptimizeAndPredictMetricsSidecar) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto metrics = (dir / "mlck_cmd_opt_metrics.json").string();
+  const auto plan = (dir / "mlck_cmd_opt_metrics_plan.json").string();
+  const auto opt = run({"optimize", "--system=D5", "--out=" + plan,
+                        "--metrics=" + metrics});
+  ASSERT_EQ(opt.code, 0) << opt.err;
+  const auto doc = util::Json::parse(core::read_file(metrics));
+  EXPECT_GT(doc.at("counters").at("optimizer.plans_swept").as_number(), 0.0);
+
+  const auto pred = run({"predict", "--system=D5", "--plan=" + plan,
+                         "--metrics=" + metrics});
+  ASSERT_EQ(pred.code, 0) << pred.err;
+  const auto pdoc = util::Json::parse(core::read_file(metrics));
+  EXPECT_GT(pdoc.at("counters").at("engine.evaluations").as_number(), 0.0);
+  std::filesystem::remove(metrics);
+  std::filesystem::remove(plan);
+}
+
+TEST(Commands, OptimizeWithMetricsKeepsPlanIdentical) {
+  // Observe-only: instrumentation must not change the selected plan.
+  const auto bare = run({"optimize", "--system=D6"});
+  const auto traced = run({"optimize", "--system=D6", "--metrics"});
+  ASSERT_EQ(bare.code, 0);
+  ASSERT_EQ(traced.code, 0);
+  // The instrumented run appends metric tables; the report prefix (plan,
+  // prediction) must be byte-identical.
+  EXPECT_EQ(traced.out.substr(0, bare.out.size()), bare.out);
+}
+
+TEST(Commands, ScenarioTraceWritesChromeFileAndKeepsResults) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto spec = (dir / "mlck_cmd_scn_spec.json").string();
+  const auto trace = (dir / "mlck_cmd_scn_trace.json").string();
+  ASSERT_EQ(run({"scenario", "--system=B", "--emit-spec=" + spec}).code, 0);
+  const auto bare =
+      run({"scenario", "--spec=" + spec, "--trials=20", "--seed=5"});
+  ASSERT_EQ(bare.code, 0) << bare.err;
+  const auto traced = run({"scenario", "--spec=" + spec, "--trials=20",
+                           "--seed=5", "--trace=" + trace,
+                           "--trace-trials=2"});
+  ASSERT_EQ(traced.code, 0) << traced.err;
+  // Bit-identical report (tracing is observe-only); the traced run only
+  // appends the trace-file notice.
+  EXPECT_EQ(traced.out.substr(0, bare.out.size()), bare.out);
+  EXPECT_NE(traced.out.find("2 captured trials"), std::string::npos);
+  const auto doc = util::Json::parse(core::read_file(trace));
+  EXPECT_FALSE(doc.at("traceEvents").as_array().empty());
+  std::filesystem::remove(spec);
+  std::filesystem::remove(trace);
+}
+
 TEST(Commands, SimulateAdaptiveFlag) {
   const auto r = run({"simulate", "--system=D4", "--adaptive",
                       "--trials=15", "--seed=2"});

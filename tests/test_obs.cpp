@@ -72,6 +72,65 @@ TEST(Histogram, PowerOfTwoBucketPlacement) {
             std::numeric_limits<double>::infinity());
 }
 
+TEST(Histogram, QuantileEstimateEmptyIsNaN) {
+  Histogram h;
+  EXPECT_TRUE(std::isnan(h.quantile_estimate(0.5)));
+}
+
+TEST(Histogram, QuantileEstimateExactWhenAllSamplesEqual) {
+  // The clamps collapse the target bucket to [v, v], so any quantile is
+  // exactly v.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(6.5);
+  EXPECT_DOUBLE_EQ(h.quantile_estimate(0.0), 6.5);
+  EXPECT_DOUBLE_EQ(h.quantile_estimate(0.5), 6.5);
+  EXPECT_DOUBLE_EQ(h.quantile_estimate(0.99), 6.5);
+  EXPECT_DOUBLE_EQ(h.quantile_estimate(1.0), 6.5);
+}
+
+TEST(Histogram, QuantileEstimateSingleSampleIsThatSample) {
+  Histogram h;
+  h.record(37.0);
+  EXPECT_DOUBLE_EQ(h.quantile_estimate(0.5), 37.0);
+  EXPECT_DOUBLE_EQ(h.quantile_estimate(0.99), 37.0);
+}
+
+TEST(Histogram, QuantileEstimateWithinAFactorOfTwo) {
+  // Uniform 1..1000: the estimate and the true quantile land in the same
+  // power-of-two bucket, so the ratio is bounded by the bucket's edge
+  // ratio of 2 (docs/OBSERVABILITY.md).
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  for (double q : {0.50, 0.90, 0.99}) {
+    const double truth = std::ceil(q * 1000.0);  // nearest-rank on 1..1000
+    const double est = h.quantile_estimate(q);
+    EXPECT_GT(est, truth / 2.0) << q;
+    EXPECT_LT(est, truth * 2.0) << q;
+    EXPECT_GE(est, h.min());
+    EXPECT_LE(est, h.max());
+  }
+}
+
+TEST(Histogram, QuantileEstimateMonotonicInQ) {
+  Histogram h;
+  for (int i = 0; i < 500; ++i) h.record(std::pow(1.013, i));
+  double prev = h.quantile_estimate(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = h.quantile_estimate(q);
+    EXPECT_GE(cur, prev) << q;
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile_estimate(1.0), h.max());
+}
+
+TEST(Histogram, QuantileEstimateClampsOutOfRangeQ) {
+  Histogram h;
+  h.record(2.0);
+  h.record(8.0);
+  EXPECT_DOUBLE_EQ(h.quantile_estimate(-0.5), h.quantile_estimate(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile_estimate(1.5), h.quantile_estimate(1.0));
+}
+
 TEST(ScopedTimer, NullHistogramIsANoop) {
   { ScopedTimer t(nullptr); }  // must not crash or record anything
   Histogram h;
@@ -115,6 +174,11 @@ TEST(MetricsRegistry, JsonSnapshotShape) {
   EXPECT_DOUBLE_EQ(h.at("sum").as_number(), 103.0);
   EXPECT_DOUBLE_EQ(h.at("min").as_number(), 3.0);
   EXPECT_DOUBLE_EQ(h.at("max").as_number(), 100.0);
+  // Bucket-estimated quantiles ride along for non-empty histograms: the
+  // rank-1 sample (3.0) estimates as its bucket edge 4.0; the rank-2
+  // sample (100.0) is pinned exactly by the max clamp.
+  EXPECT_DOUBLE_EQ(h.at("p50").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(h.at("p99").as_number(), 100.0);
   // Only non-zero buckets are emitted: 3.0 -> bucket le=4, 100 -> le=128.
   const auto& buckets = h.at("buckets").as_array();
   ASSERT_EQ(buckets.size(), 2u);
