@@ -25,6 +25,7 @@
 #include "systems/test_systems.h"
 #include "util/cli.h"
 #include "util/table.h"
+#include "verify/selftest.h"
 
 namespace mlck::app {
 
@@ -567,11 +568,37 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
   return code;
 }
 
+int cmd_selftest(const Cli& cli, std::ostream& out) {
+  verify::SelftestOptions options;
+  options.cases = static_cast<std::size_t>(cli.get_int("cases", 200));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  options.only_case = cli.get_int("case", -1);
+  options.trials = static_cast<std::size_t>(cli.get_int("trials", 200));
+  options.welch_systems =
+      static_cast<std::size_t>(cli.get_int("welch-systems", 8));
+  options.alpha = cli.get_double("alpha", 0.01);
+  options.welch_gating = cli.get_bool("welch-gate", false);
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (const int threads = cli.get_int("threads", 0); threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(threads));
+  }
+  const verify::SelftestReport report =
+      verify::run_selftest(options, pool.get(), &out);
+  if (const auto path = cli.value("out"); path && !path->empty()) {
+    core::write_file(*path, report.to_json().dump(2) + "\n");
+    out << "report written to " << *path << "\n";
+  }
+  out << (report.passed() ? "selftest PASSED" : "selftest FAILED") << "\n";
+  return report.passed() ? 0 : 1;
+}
+
 }  // namespace
 
 std::string usage() {
   return "usage: mlck <systems|show|optimize|predict|simulate|compare|energy|"
-         "sensitivity|trace|scenario>"
+         "sensitivity|trace|scenario|selftest>"
          " [--system=<name|file.json>] [options]\n"
          "run `mlck <command>` with a missing argument for its specific"
          " requirements; see src/app/commands.h for the full synopsis\n";
@@ -602,6 +629,7 @@ int run_command(const std::vector<std::string>& args, std::ostream& out,
     else if (command == "sensitivity") code = cmd_sensitivity(cli, out);
     else if (command == "trace") code = cmd_trace(cli, out);
     else if (command == "scenario") code = cmd_scenario(cli, out);
+    else if (command == "selftest") code = cmd_selftest(cli, out);
     else {
       err << "unknown command: " << command << "\n" << usage();
       return 2;

@@ -30,6 +30,18 @@ namespace mlck::app {
 ///                 [--metrics[=metrics.json]]
 ///                 [--trace=trace.json] [--trace-trials=8]
 ///   mlck scenario --system=... --emit-spec[=scenario.json]
+///   mlck selftest [--cases=200] [--seed=42] [--case=K]
+///                 [--trials=200] [--welch-systems=8] [--alpha=0.01]
+///                 [--welch-gate] [--threads=0] [--out=report.json]
+///
+/// `selftest` runs the randomized verification harness (src/verify,
+/// docs/TESTING.md): generated cases checked against a numeric-quadrature
+/// oracle, cross-implementation bit-identity, metamorphic properties, and
+/// optimizer dominance, then a model-vs-simulator Welch validation.
+/// Every failure line carries the case's stream seed and a one-line
+/// replay command (`--case=K` reruns exactly that case). `--out` writes
+/// the JSON report; exit 1 on any invariant failure (Welch rejections
+/// gate only with `--welch-gate`).
 ///
 /// `scenario` drives one declarative engine::ScenarioSpec end to end:
 /// plan selection through the cached evaluation engine, then Monte-Carlo

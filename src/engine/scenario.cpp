@@ -1,7 +1,9 @@
 #include "engine/scenario.h"
 
+#include <initializer_list>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "core/serialize.h"
 #include "models/registry.h"
@@ -17,6 +19,28 @@ Json::Array levels_to_json(const std::vector<int>& levels) {
   out.reserve(levels.size());
   for (const int v : levels) out.emplace_back(v);
   return out;
+}
+
+/// Strict-parsing guard: every (de)serialized section rejects keys it
+/// does not understand, so a typo'd field ("trails", "tau_mim") fails
+/// loudly instead of silently running the default configuration.
+void require_known_keys(const Json& doc, const char* context,
+                        std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : doc.as_object()) {
+    bool recognized = false;
+    for (const char* k : known) {
+      if (key == k) {
+        recognized = true;
+        break;
+      }
+    }
+    if (recognized) continue;
+    std::string message = "unknown key \"" + key + "\" in " + context +
+                          " (known keys:";
+    for (const char* k : known) message += std::string(" ") + k;
+    message += ")";
+    throw std::invalid_argument(message);
+  }
 }
 
 std::vector<int> levels_from_json(const Json& doc) {
@@ -55,6 +79,9 @@ Json model_options_to_json(const core::DauweOptions& opts) {
 
 core::DauweOptions model_options_from_json(const Json& doc) {
   core::DauweOptions opts;
+  require_known_keys(doc, "scenario.model_options",
+                     {"checkpoint_failures", "restart_failures",
+                      "renormalize_severity_shares"});
   if (const Json* v = doc.find("checkpoint_failures"))
     opts.checkpoint_failures = v->as_bool();
   if (const Json* v = doc.find("restart_failures"))
@@ -79,6 +106,10 @@ Json optimizer_to_json(const core::OptimizerOptions& opts) {
 
 core::OptimizerOptions optimizer_from_json(const Json& doc) {
   core::OptimizerOptions opts;
+  require_known_keys(doc, "scenario.optimizer",
+                     {"coarse_tau_points", "tau_min", "max_count",
+                      "refine_rounds", "allow_suffix_skipping",
+                      "restrict_levels"});
   if (const Json* v = doc.find("coarse_tau_points"))
     opts.coarse_tau_points = static_cast<int>(v->as_number());
   if (const Json* v = doc.find("tau_min")) opts.tau_min = v->as_number();
@@ -105,6 +136,8 @@ Json sim_to_json(const sim::SimOptions& opts) {
 
 sim::SimOptions sim_from_json(const Json& doc) {
   sim::SimOptions opts;
+  require_known_keys(doc, "scenario.sim",
+                     {"restart_policy", "take_final_checkpoint"});
   if (const Json* v = doc.find("restart_policy")) {
     const std::string& policy = v->as_string();
     if (policy == "escalate") {
@@ -139,6 +172,8 @@ std::unique_ptr<math::FailureDistribution> DistributionSpec::make(
 
 DistributionSpec DistributionSpec::from_json(const Json& doc) {
   DistributionSpec spec;
+  require_known_keys(doc, "scenario.distribution",
+                     {"kind", "shape", "sigma", "mean"});
   if (const Json* v = doc.find("kind")) spec.kind = kind_from_name(v->as_string());
   if (const Json* v = doc.find("shape")) spec.shape = v->as_number();
   if (const Json* v = doc.find("sigma")) spec.sigma = v->as_number();
@@ -167,6 +202,9 @@ void ScenarioSpec::validate() const {
 
 ScenarioSpec ScenarioSpec::from_json(const Json& doc) {
   ScenarioSpec spec;
+  require_known_keys(doc, "scenario",
+                     {"system", "model", "model_options", "distribution",
+                      "optimizer", "trials", "seed", "sim"});
   if (const Json* sys = doc.find("system")) {
     if (sys->is_string()) {
       spec.system_ref = sys->as_string();

@@ -79,6 +79,9 @@ struct ScenarioSpec {
 
   /// Round-trip: from_json(to_json(spec)) == spec (compared as JSON).
   /// Every field except "system" is optional and defaults as above.
+  /// Parsing is strict: an unknown key anywhere in the document (a typo'd
+  /// field, a section in the wrong place) throws std::invalid_argument
+  /// naming the key and its section rather than being silently ignored.
   static ScenarioSpec from_json(const util::Json& doc);
   util::Json to_json() const;
 

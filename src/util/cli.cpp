@@ -11,7 +11,14 @@ Cli::Cli(int argc, const char* const* argv) {
     if (arg.rfind("--", 0) == 0) {
       const auto eq = arg.find('=');
       if (eq == std::string_view::npos) {
-        options_.emplace(std::string(arg.substr(2)), "");
+        // "--key value": attach the next token as the value unless it is
+        // itself an option, so "--cases 200" means "--cases=200".
+        if (i + 1 < argc &&
+            std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+          options_.emplace(std::string(arg.substr(2)), argv[++i]);
+        } else {
+          options_.emplace(std::string(arg.substr(2)), "");
+        }
       } else {
         options_.emplace(std::string(arg.substr(2, eq - 2)),
                          std::string(arg.substr(eq + 1)));

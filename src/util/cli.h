@@ -7,8 +7,9 @@
 
 namespace mlck::util {
 
-/// Tiny "--key=value" / "--flag" argument parser for the experiment
-/// drivers and examples.
+/// Tiny "--key=value" / "--key value" / "--flag" argument parser for the
+/// experiment drivers and examples. A bare "--key" takes the following
+/// token as its value unless that token is itself an option.
 ///
 /// Unknown keys are collected and reported so a typo in a sweep parameter
 /// fails loudly instead of silently running the default configuration.

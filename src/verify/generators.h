@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dauwe_model.h"
+#include "core/plan.h"
+#include "systems/system_config.h"
+#include "util/rng.h"
+
+namespace mlck::verify {
+
+/// Distribution bounds for the randomized verification generators. The
+/// defaults span the paper's Table I regimes (MTBF 3 min .. 7000 min,
+/// costs 0.008 .. 30 min) with extra headroom on both sides, so the
+/// harness exercises configurations well outside the hand-picked golden
+/// points. All ranges are log-uniform unless noted.
+struct GeneratorOptions {
+  int min_levels = 1;
+  int max_levels = 5;
+  double mtbf_min = 20.0;       ///< minutes
+  double mtbf_max = 20000.0;
+  double cost_min = 0.005;      ///< minutes, per level
+  double cost_max = 30.0;
+  double base_min = 100.0;      ///< minutes
+  double base_max = 5000.0;
+  int max_count = 12;           ///< pattern counts drawn uniformly 0..max
+  /// Probability that a generated plan's tau0 is drawn from the feasible
+  /// band (at least one top-level period fits in T_B); the remainder is
+  /// drawn past the bound so the +inf paths stay covered.
+  double feasible_fraction = 0.85;
+};
+
+/// Random structurally-valid system: severity shares normalized to 1,
+/// costs mostly (but not always) ascending, restart costs usually equal
+/// to checkpoint costs as in Table I but sometimes independently scaled.
+systems::SystemConfig random_system(util::Rng& rng,
+                                    const GeneratorOptions& options = {});
+
+/// Random non-empty ascending subset of {0..levels-1}.
+std::vector<int> random_subset(util::Rng& rng, int levels);
+
+/// Random valid plan over a random subset of the system's levels. The
+/// plan validates against @p system; tau0 lands in the feasible band with
+/// probability options.feasible_fraction.
+core::CheckpointPlan random_plan(util::Rng& rng,
+                                 const systems::SystemConfig& system,
+                                 const GeneratorOptions& options = {});
+
+/// Random model-option flags, biased toward the paper's full model.
+core::DauweOptions random_dauwe_options(util::Rng& rng);
+
+/// One self-describing verification case. `seed` is the *stream* seed the
+/// case was generated from (derive_stream_seed(base_seed, index)), so any
+/// failing case replays exactly from its report line regardless of how
+/// many cases ran before it.
+struct VerifyCase {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  systems::SystemConfig system;
+  core::CheckpointPlan plan;
+  core::DauweOptions options;
+};
+
+/// Deterministically generates case @p index of the stream rooted at
+/// @p base_seed. Case k never depends on cases < k.
+VerifyCase make_case(std::uint64_t base_seed, std::size_t index,
+                     const GeneratorOptions& options = {});
+
+}  // namespace mlck::verify

@@ -1,0 +1,198 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "math/integrate.h"
+
+namespace mlck::verify {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Quadrature tolerances are absolute, so they must scale with the
+/// integral's magnitude: P(t, X) ~ min(1, Xt) for small windows.
+double probability_scale(double u) noexcept { return std::min(1.0, u); }
+
+}  // namespace
+
+double TolerancePolicy::effective_rel(double condition) const noexcept {
+  return std::min(rel_cap, rel * std::max(1.0, condition));
+}
+
+bool TolerancePolicy::within(double value, double reference,
+                             double condition) const noexcept {
+  if (std::isnan(value) || std::isnan(reference)) return false;
+  if (std::isinf(value) || std::isinf(reference)) return value == reference;
+  const double band =
+      abs + effective_rel(condition) *
+                std::max(std::abs(value), std::abs(reference));
+  return std::abs(value - reference) <= band;
+}
+
+double oracle_failure_probability(double t, double rate) {
+  if (t <= 0.0 || rate <= 0.0) return 0.0;
+  const auto density = [rate](double x) { return rate * std::exp(-rate * x); };
+  const double tol = 1e-13 * probability_scale(rate * t);
+  // Beyond 60/rate the remaining mass is ~e^{-60}, far below the
+  // tolerance; capping there keeps the decay scale a visible fraction of
+  // the integration interval however large t grows.
+  const double b = std::min(t, 60.0 / rate);
+  return std::min(1.0, math::integrate(density, 0.0, b, tol));
+}
+
+double oracle_survival(double t, double rate) {
+  if (t <= 0.0 || rate <= 0.0) return 1.0;
+  const double u = rate * t;
+  if (u >= 745.0) return 0.0;  // e^{-u} underflows double
+  const auto density = [rate](double x) { return rate * std::exp(-rate * x); };
+  // The tail integral's magnitude is e^{-u}; use that only to *scale the
+  // tolerance* (the value itself still comes from quadrature).
+  const double scale = std::exp(-u);
+  const double tol = std::max(1e-300, 1e-13 * scale);
+  return math::integrate(density, t, t + 60.0 / rate, tol);
+}
+
+double oracle_truncated_mean(double t, double rate) {
+  if (t <= 0.0) return 0.0;
+  if (rate <= 0.0) return 0.5 * t;  // uniform limit, as in math/exponential
+  const double p = oracle_failure_probability(t, rate);
+  if (p <= 0.0) return 0.5 * t;
+  const auto weighted = [rate](double x) {
+    return x * rate * std::exp(-rate * x);
+  };
+  // The integrand peaks at x = 1/rate and f(0) = f(inf) = 0, so on a long
+  // interval the whole mass can hide between the first Simpson samples
+  // and the subdivision would terminate on an apparent-zero estimate.
+  // Cap the domain at the effective support (mass beyond 60/rate is
+  // ~e^{-60}) and split bulk from tail so the peak always sits within a
+  // factor of 8 of an integration endpoint.
+  const double b = std::min(t, 60.0 / rate);
+  const double split = std::min(b, 8.0 / rate);
+  const double tol =
+      0.5e-13 * probability_scale(rate * t) * std::min(t, 1.0 / rate);
+  double mass = math::integrate(weighted, 0.0, split, tol);
+  if (b > split) mass += math::integrate(weighted, split, b, tol);
+  return mass / p;
+}
+
+double oracle_expected_retries(double t, double rate) {
+  if (t <= 0.0 || rate <= 0.0) return 0.0;
+  const double s = oracle_survival(t, rate);
+  if (s <= 0.0) return kInf;
+  return oracle_failure_probability(t, rate) / s;
+}
+
+double oracle_expected_time(const systems::SystemConfig& system,
+                            const core::CheckpointPlan& plan,
+                            const core::DauweOptions& options,
+                            double* condition) {
+  plan.validate(system);
+  if (condition != nullptr) *condition = 1.0;
+  const int K = plan.used_levels();
+
+  // Independent severity binning: a severity-s failure restarts from the
+  // lowest used level >= s; severities above the top used level restart
+  // the application from scratch (paper Sec. III-B).
+  std::vector<double> lambda(static_cast<std::size_t>(K), 0.0);
+  double scratch_lambda = 0.0;
+  for (int s = 0; s < system.levels(); ++s) {
+    bool binned = false;
+    for (int k = 0; k < K; ++k) {
+      if (plan.levels[static_cast<std::size_t>(k)] >= s) {
+        lambda[static_cast<std::size_t>(k)] += system.lambda(s);
+        binned = true;
+        break;
+      }
+    }
+    if (!binned) scratch_lambda += system.lambda(s);
+  }
+  const double lambda_total = system.lambda_total();
+
+  // The Eqns. 4-14 recursion, one stage per used level, every
+  // transcendental from quadrature.
+  std::vector<double> tau(static_cast<std::size_t>(K));
+  std::vector<double> gamma(static_cast<std::size_t>(K));
+  std::vector<double> lost_share(static_cast<std::size_t>(K));
+  tau[0] = plan.tau0;
+  double pattern = 1.0;
+  for (std::size_t k = 0; k + 1 < static_cast<std::size_t>(K); ++k) {
+    pattern *= static_cast<double>(plan.counts[k] + 1);
+  }
+  const double top_periods = system.base_time / (plan.tau0 * pattern);
+  if (!(top_periods >= 1.0)) return kInf;  // Eqn. 3 solution-space bound
+
+  double amplification = 1.0;
+  double lambda_c = 0.0;
+  double total = kInf;
+  for (int k = 0; k < K; ++k) {
+    const auto ki = static_cast<std::size_t>(k);
+    if (!std::isfinite(tau[ki])) return kInf;  // a stage overflowed
+    lambda_c += lambda[ki];
+    gamma[ki] = oracle_expected_retries(tau[ki], lambda[ki]);  // Eqn. 5
+    const double e_tau = oracle_truncated_mean(tau[ki], lambda[ki]);
+    lost_share[ki] = tau[ki] + gamma[ki] * e_tau;
+    amplification *= std::max(1.0, lambda[ki] * tau[ki]);
+
+    double m, c;
+    if (k + 1 < K) {
+      m = static_cast<double>(plan.counts[ki] + 1);
+      c = static_cast<double>(plan.counts[ki]);
+    } else {
+      // Top level: N_L periods, one fewer checkpoint (Eqn. 3 convention).
+      m = top_periods;
+      c = top_periods - 1.0;
+    }
+    const auto level = static_cast<std::size_t>(plan.levels[ki]);
+    const double delta = system.checkpoint_cost[level];
+    const double restart = system.restart_cost[level];
+    const auto share = [&](std::size_t j) {
+      return options.renormalize_severity_shares ? lambda[j] / lambda_c
+                                                 : lambda[j] / lambda_total;
+    };
+
+    const double t_ck_ok = c * delta;  // Eqn. 7
+    const double alpha =               // Eqn. 8
+        options.checkpoint_failures
+            ? c * oracle_expected_retries(delta, lambda_c)
+            : 0.0;
+    const double t_ck_fail = alpha * oracle_truncated_mean(delta, lambda_c);
+    double lost = 0.0;  // Eqn. 10
+    for (std::size_t j = 0; j <= ki; ++j) lost += lost_share[j] * share(j);
+    const double t_w_ck = alpha * lost;
+    const double t_w_tau = m * gamma[ki] * e_tau;  // Eqn. 6
+    const double beta =                            // Eqn. 11
+        share(ki) * alpha + gamma[ki] * (share(ki) * alpha + m);
+    const double t_r_ok = beta * restart;
+    const double zeta =  // Eqn. 12
+        options.restart_failures
+            ? beta * oracle_expected_retries(restart, lambda_c)
+            : 0.0;
+    const double t_r_fail = zeta * oracle_truncated_mean(restart, lambda_c);
+
+    const double out =  // Eqn. 4
+        m * tau[ki] + t_ck_ok + t_ck_fail + t_r_ok + t_r_fail + t_w_tau +
+        t_w_ck;
+    if (k + 1 < K) {
+      tau[ki + 1] = out;
+    } else {
+      total = out;
+    }
+  }
+  if (!std::isfinite(total)) return kInf;
+
+  // Restart-from-scratch wrap for unrecoverable severities.
+  if (scratch_lambda > 0.0) {
+    total += oracle_expected_retries(total, scratch_lambda) *
+             oracle_truncated_mean(total, scratch_lambda);
+    amplification *= std::max(1.0, scratch_lambda * total);
+  }
+  if (!std::isfinite(total)) return kInf;
+  if (condition != nullptr) *condition = amplification;
+  return total;
+}
+
+}  // namespace mlck::verify

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/thread_pool.h"
+#include "verify/generators.h"
+#include "verify/invariants.h"
+#include "verify/oracle.h"
+
+namespace mlck::verify {
+
+/// Configuration for one randomized self-verification run.
+struct SelftestOptions {
+  std::size_t cases = 200;    ///< generated invariant cases
+  std::uint64_t seed = 42;    ///< base seed of the case stream
+  /// Replay exactly one case of the stream (the value printed in a
+  /// failure's repro line); negative runs the whole stream.
+  long long only_case = -1;
+
+  /// Every stride-th case additionally runs the (much more expensive)
+  /// optimizer-dominance check.
+  std::size_t dominance_stride = 8;
+
+  /// Model-vs-simulator statistical validation: number of systems, trials
+  /// per system, and the two-sided rejection level.
+  std::size_t welch_systems = 8;
+  std::size_t trials = 200;
+  double alpha = 0.01;
+  /// When true, Welch rejections fail the run. Off by default: the model
+  /// is a *mean-field approximation*, so on harsh systems a correct
+  /// implementation still rejects (see docs/TESTING.md).
+  bool welch_gating = false;
+
+  TolerancePolicy tolerance;
+  GeneratorOptions generator;
+};
+
+/// One invariant violation, with everything needed to replay it.
+struct SelftestFailure {
+  std::string phase;       ///< oracle | bit_identity | metamorphic | dominance
+  std::size_t case_index = 0;
+  std::uint64_t case_seed = 0;  ///< the case's own stream seed
+  std::string check;
+  std::string detail;
+  std::string repro;       ///< one-line CLI command replaying this case
+};
+
+/// One model-vs-simulator comparison.
+struct WelchValidation {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  int levels = 0;
+  double mtbf = 0.0;
+  double base_time = 0.0;
+  std::string plan;
+  double predicted_time = 0.0;
+  double sim_mean = 0.0;
+  double sim_stddev = 0.0;
+  std::size_t trials = 0;
+  std::size_t capped_trials = 0;
+  double statistic = 0.0;
+  double p_two_sided = 1.0;
+  bool rejected = false;
+  bool skipped = false;
+  std::string skip_reason;
+};
+
+/// Aggregate outcome of a selftest run.
+struct SelftestReport {
+  SelftestOptions options;
+  std::size_t cases_run = 0;
+  std::size_t oracle_checked = 0;
+  std::size_t bit_identity_checked = 0;
+  std::size_t metamorphic_checked = 0;
+  std::size_t dominance_checked = 0;
+  /// Largest oracle deviation observed, as a fraction of the acceptance
+  /// band (1.0 == right at the tolerance edge).
+  double max_oracle_error = 0.0;
+  std::vector<SelftestFailure> failures;
+  std::vector<WelchValidation> welch;
+  std::size_t welch_rejections = 0;
+
+  /// Invariants all held, and (only when gating is on) no Welch rejection.
+  bool passed() const noexcept;
+
+  /// Machine-readable report (the CI artifact). Seeds are hex strings so
+  /// no 64-bit value is squeezed through a double.
+  util::Json to_json() const;
+};
+
+/// Runs the full harness: generated invariant cases (oracle agreement,
+/// bit-identity, metamorphic properties, periodic optimizer dominance)
+/// followed by the model-vs-simulator Welch validation. @p log, when
+/// non-null, receives one progress line per phase and per failure.
+SelftestReport run_selftest(const SelftestOptions& options,
+                            util::ThreadPool* pool = nullptr,
+                            std::ostream* log = nullptr);
+
+}  // namespace mlck::verify

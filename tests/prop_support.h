@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared support for the randomized ("property") test suites: one place
+// to resolve a suite's base seed and to format the seed + replay command
+// that every randomized failure must carry (docs/TESTING.md).
+//
+// Usage:
+//   const std::uint64_t seed = testprop::suite_seed(kDefaultSeed);
+//   SCOPED_TRACE(testprop::repro("Suite.TestName", seed));
+//   util::Rng rng(seed);
+//
+// SCOPED_TRACE attaches the line to every assertion in scope, so a CI
+// log shows the failing seed and the exact command replaying it even
+// when the assertion itself only prints two doubles.
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mlck::testprop {
+
+/// The suite's base seed: @p fallback unless MLCK_PROP_SEED is set in
+/// the environment (decimal or 0x-prefixed hex), which replays a logged
+/// failure without recompiling.
+inline std::uint64_t suite_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("MLCK_PROP_SEED")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 0);
+    if (end != env) return parsed;
+  }
+  return fallback;
+}
+
+/// One-line seed report + replay command for SCOPED_TRACE.
+inline std::string repro(const char* test_name, std::uint64_t seed) {
+  std::ostringstream out;
+  out << "seed=0x" << std::hex << seed
+      << " — replay: MLCK_PROP_SEED=0x" << seed
+      << " ctest --test-dir build -R '" << std::dec << test_name << "'";
+  return out.str();
+}
+
+}  // namespace mlck::testprop

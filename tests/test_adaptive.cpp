@@ -112,6 +112,63 @@ TEST(Adaptive, ZeroRateOrFreeLevelsGetZeroCutoff) {
   EXPECT_DOUBLE_EQ(adaptive.cutoff_remaining[0], 0.0);
 }
 
+TEST(Adaptive, SingleLevelSystemKeepsItsOnlyLevelUntilCutoff) {
+  // Degenerate hierarchy: one level, one cutoff. cutoff = sqrt(2*2/0.002)
+  // ~ 44.7, so points up to work 50 keep level 0 and later ones vanish.
+  const auto sys = systems::SystemConfig::from_table_row(
+      "solo", 1, 500.0, {1.0}, {2.0}, 100.0);
+  const auto plan = CheckpointPlan::full_hierarchy(10.0, {});
+  const auto adaptive = make_adaptive(sys, plan);
+  ASSERT_EQ(adaptive.cutoff_remaining.size(), 1u);
+  EXPECT_NEAR(adaptive.cutoff_remaining[0],
+              std::sqrt(2.0 * 2.0 / sys.lambda(0)), 1e-9);
+  const auto early = adaptive.next_checkpoint(0.0);
+  ASSERT_TRUE(early.has_value());
+  EXPECT_DOUBLE_EQ(early->work, 10.0);
+  EXPECT_EQ(early->used_index, 0);
+  // Remaining at work 60 is 40 < 44.7: every later point is skipped.
+  EXPECT_FALSE(adaptive.next_checkpoint(55.0).has_value());
+}
+
+TEST(Adaptive, VanishingFailureRateSkipsEveryCheckpoint) {
+  // lambda -> 0 limit: the cutoffs sqrt(2*delta/lambda) dwarf T_B, so the
+  // schedule degenerates to "never checkpoint" and a failure-free run is
+  // pure useful work.
+  const auto sys = systems::SystemConfig::from_table_row(
+      "calm", 2, 1e15, {0.5, 0.5}, {1.0, 8.0}, 100.0);
+  const auto plan = CheckpointPlan::full_hierarchy(10.0, {1});
+  const auto adaptive = make_adaptive(sys, plan);
+  for (const double cutoff : adaptive.cutoff_remaining) {
+    EXPECT_GT(cutoff, sys.base_time);
+  }
+  EXPECT_FALSE(adaptive.next_checkpoint(0.0).has_value());
+  sim::ScriptedFailureSource none({});
+  const auto run = sim::simulate(sys, adaptive, none);
+  EXPECT_DOUBLE_EQ(run.breakdown.useful, 100.0);
+  EXPECT_EQ(run.checkpoints_completed, 0);
+  EXPECT_DOUBLE_EQ(run.total_time, 100.0);
+}
+
+TEST(Adaptive, FreeLevelIsNeverSkippedEvenAtTheVeryEnd) {
+  // Companion to ZeroRateOrFreeLevelsGetZeroCutoff: a zero-cost level's
+  // cutoff of 0 means the last pattern point before the end is still
+  // worth taking, and expensive levels downgrade onto it.
+  const auto sys = systems::SystemConfig::from_table_row(
+      "free", 2, 1e12, {0.5, 0.5}, {0.0, 1.0}, 100.0);
+  const auto plan = CheckpointPlan::full_hierarchy(10.0, {1});
+  const auto adaptive = make_adaptive(sys, plan);
+  const auto last = adaptive.next_checkpoint(85.0);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_DOUBLE_EQ(last->work, 90.0);
+  EXPECT_EQ(last->used_index, 0);
+  // Level-1 points (work 20, 40, ...) downgrade to the free level rather
+  // than paying a cost whose horizon never arrives.
+  const auto downgraded = adaptive.next_checkpoint(15.0);
+  ASSERT_TRUE(downgraded.has_value());
+  EXPECT_DOUBLE_EQ(downgraded->work, 20.0);
+  EXPECT_EQ(downgraded->used_index, 0);
+}
+
 TEST(Quantiles, TrialStatsCarryDistributionTails) {
   const auto sys = systems::table1_system("D6");
   const auto plan = CheckpointPlan::full_hierarchy(1.5, {4});

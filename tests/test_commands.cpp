@@ -274,6 +274,35 @@ TEST(Commands, SensitivitySweepIsPeakedAtTheOptimum) {
   EXPECT_NE(r.out.find("-"), std::string::npos);
 }
 
+TEST(Commands, SelftestSmallRunPasses) {
+  const auto r = run({"selftest", "--cases=5", "--welch-systems=0",
+                      "--seed=7"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("selftest PASSED"), std::string::npos);
+  EXPECT_NE(r.out.find("5 cases"), std::string::npos);
+}
+
+TEST(Commands, SelftestWritesParseableJsonReport) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mlck_cmd_selftest.json")
+          .string();
+  const auto r = run({"selftest", "--cases=4", "--welch-systems=0",
+                      "--out=" + path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto doc = util::Json::parse(core::read_file(path));
+  EXPECT_DOUBLE_EQ(doc.at("cases_run").as_number(), 4.0);
+  EXPECT_TRUE(doc.at("passed").as_bool());
+  EXPECT_EQ(doc.at("seed").as_string(), "0x2a");
+  std::filesystem::remove(path);
+}
+
+TEST(Commands, SelftestSingleCaseReplay) {
+  const auto r = run({"selftest", "--cases=10", "--case=3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("selftest PASSED"), std::string::npos);
+  EXPECT_NE(r.out.find("1 case"), std::string::npos);
+}
+
 TEST(Commands, UnrecognizedOptionWarns) {
   const auto r = run({"systems", "--bogus=1"});
   EXPECT_EQ(r.code, 0);

@@ -160,5 +160,58 @@ TEST(EnergyObjective, SimulatedEnergyTracksPredictedEnergy) {
   EXPECT_NEAR(total_energy / trials / predicted_energy, 1.0, 0.05);
 }
 
+TEST(PowerModel, ZeroDrawsAreValidAndYieldZeroEnergy) {
+  // All-zero draws are a legal boundary (validate rejects only negative
+  // draws) and must zero the energy of any breakdown.
+  const PowerModel dark{0.0, 0.0, 0.0};
+  EXPECT_NO_THROW(dark.validate());
+  sim::SimBreakdown sb;
+  sb.useful = 10.0;
+  sb.checkpoint_ok = 3.0;
+  sb.restart_failed = 2.0;
+  EXPECT_DOUBLE_EQ(dark.energy(sb), 0.0);
+  core::ModelBreakdown mb;
+  mb.compute = 100.0;
+  mb.checkpoint_ok = 8.0;
+  mb.restart_ok = 4.0;
+  EXPECT_DOUBLE_EQ(dark.energy(mb), 0.0);
+}
+
+TEST(EnergyObjective, SingleLevelSystemMatchesPredictionBreakdown) {
+  // Degenerate hierarchy: one level, so the plan has no counts and the
+  // model's only stage is the top one.
+  const auto sys = systems::SystemConfig::from_table_row(
+      "solo", 1, 500.0, {1.0}, {2.0}, 100.0);
+  const core::DauweModel base;
+  PowerModel power;
+  power.checkpoint = 0.4;
+  power.restart = 0.3;
+  const EnergyObjectiveModel model(base, power, Objective::kEnergy);
+  const auto plan = core::CheckpointPlan::full_hierarchy(25.0, {});
+  const auto prediction = base.predict(sys, plan);
+  ASSERT_TRUE(std::isfinite(prediction.expected_time));
+  EXPECT_NEAR(model.expected_time(sys, plan),
+              power.energy(prediction.breakdown),
+              1e-9 * prediction.expected_time);
+}
+
+TEST(EnergyObjective, VanishingFailureRateApproachesFailureFreeEnergy) {
+  // lambda -> 0 limit: no rework or restarts survive, so the energy of a
+  // plan collapses to compute draw * T_B plus checkpoint draw * the
+  // failure-free checkpoint overhead.
+  const auto sys = systems::SystemConfig::from_table_row(
+      "calm", 1, 1e12, {1.0}, {2.0}, 100.0);
+  const core::DauweModel base;
+  PowerModel power;
+  power.compute = 1.2;
+  power.checkpoint = 0.4;
+  power.restart = 0.9;
+  const EnergyObjectiveModel model(base, power, Objective::kEnergy);
+  // tau0 = 25 on T_B = 100: four periods, three interior checkpoints.
+  const auto plan = core::CheckpointPlan::full_hierarchy(25.0, {});
+  const double expected = 1.2 * 100.0 + 0.4 * (3.0 * 2.0);
+  EXPECT_NEAR(model.expected_time(sys, plan), expected, 1e-6 * expected);
+}
+
 }  // namespace
 }  // namespace mlck::energy

@@ -13,6 +13,7 @@
 #include <random>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -338,6 +339,59 @@ TEST(ScenarioSpec, ValidateRejectsEmptySystemAndBadTrials) {
   EXPECT_NO_THROW(spec.validate());
   spec.trials = 0;
   EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+// Injects @p key into @p section of a valid scenario document and
+// asserts from_json rejects it with a message naming both the key and
+// the section — a typo must never be silently ignored.
+void expect_unknown_key_rejected(const char* section, const char* key) {
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D2");
+  spec.system_ref = "D2";
+  auto doc = spec.to_json();
+  auto& root = doc.make_object();
+  if (std::string(section) == "scenario") {
+    root[key] = util::Json(1.0);
+  } else {
+    root[section].make_object()[key] = util::Json(1.0);
+  }
+  try {
+    ScenarioSpec::from_json(doc);
+    FAIL() << "unknown key \"" << key << "\" in " << section
+           << " was silently accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find(key), std::string::npos) << message;
+    const std::string context = std::string(section) == "scenario"
+                                    ? "scenario"
+                                    : "scenario." + std::string(section);
+    EXPECT_NE(message.find(context), std::string::npos) << message;
+  }
+}
+
+TEST(ScenarioSpec, RejectsTypoedKeysNamingKeyAndSection) {
+  expect_unknown_key_rejected("scenario", "trails");         // trials
+  expect_unknown_key_rejected("scenario", "modle");          // model
+  expect_unknown_key_rejected("model_options", "checkpoint_failure");
+  expect_unknown_key_rejected("optimizer", "tau_mim");       // tau_min
+  expect_unknown_key_rejected("optimizer", "coarse_points");
+  expect_unknown_key_rejected("distribution", "shap");       // shape
+  expect_unknown_key_rejected("sim", "restart_polcy");
+}
+
+TEST(ScenarioSpec, StrictParsingStillAcceptsEveryKnownKey) {
+  // The full to_json document exercises every recognized key in every
+  // section; strict parsing must accept it unchanged.
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D4");
+  spec.model_options.restart_failures = false;
+  spec.distribution.kind = DistributionSpec::Kind::kLogNormal;
+  spec.distribution.sigma = 1.2;
+  spec.distribution.mean = 90.0;
+  spec.optimizer.tau_min = 0.25;
+  spec.optimizer.restrict_levels = {0};
+  spec.sim.take_final_checkpoint = true;
+  EXPECT_NO_THROW(ScenarioSpec::from_json(spec.to_json()));
 }
 
 TEST(RunScenario, DefaultExponentialBitMatchesDirectPipeline) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "core/adaptive.h"
 #include "core/dauwe_model.h"
@@ -13,6 +14,7 @@
 #include "models/moody.h"
 #include "sim/simulator.h"
 #include "systems/system_config.h"
+#include "prop_support.h"
 #include "util/rng.h"
 
 namespace mlck {
@@ -65,7 +67,9 @@ core::CheckpointPlan random_plan(util::Rng& rng,
 }
 
 TEST(FuzzInvariants, SimulatorAccountingAlwaysBalances) {
-  util::Rng rng(0xF00D);
+  const std::uint64_t seed = testprop::suite_seed(0xF00D);
+  SCOPED_TRACE(testprop::repro("FuzzInvariants.SimulatorAccountingAlwaysBalances", seed));
+  util::Rng rng(seed);
   for (int round = 0; round < 150; ++round) {
     const auto sys = random_system(rng);
     const auto plan = random_plan(rng, sys);
@@ -90,7 +94,9 @@ TEST(FuzzInvariants, SimulatorAccountingAlwaysBalances) {
 }
 
 TEST(FuzzInvariants, ModelAlwaysFiniteOrInfeasibleNeverNan) {
-  util::Rng rng(0xBEEF);
+  const std::uint64_t seed = testprop::suite_seed(0xBEEF);
+  SCOPED_TRACE(testprop::repro("FuzzInvariants.ModelAlwaysFiniteOrInfeasibleNeverNan", seed));
+  util::Rng rng(seed);
   const core::DauweModel dauwe;
   const models::MoodyModel moody;
   for (int round = 0; round < 300; ++round) {
@@ -114,7 +120,9 @@ TEST(FuzzInvariants, ModelAlwaysFiniteOrInfeasibleNeverNan) {
 }
 
 TEST(FuzzInvariants, AdaptiveNeverChecksMoreThanStaticFailureFree) {
-  util::Rng rng(0xACE);
+  const std::uint64_t seed = testprop::suite_seed(0xACE);
+  SCOPED_TRACE(testprop::repro("FuzzInvariants.AdaptiveNeverChecksMoreThanStaticFailureFree", seed));
+  util::Rng rng(seed);
   for (int round = 0; round < 80; ++round) {
     const auto sys = random_system(rng);
     const auto plan = random_plan(rng, sys);
@@ -131,7 +139,9 @@ TEST(FuzzInvariants, AdaptiveNeverChecksMoreThanStaticFailureFree) {
 }
 
 TEST(FuzzInvariants, IntervalGridAlwaysAdvances) {
-  util::Rng rng(0xD1CE);
+  const std::uint64_t seed = testprop::suite_seed(0xD1CE);
+  SCOPED_TRACE(testprop::repro("FuzzInvariants.IntervalGridAlwaysAdvances", seed));
+  util::Rng rng(seed);
   for (int round = 0; round < 100; ++round) {
     const auto sys = random_system(rng);
     core::IntervalSchedule schedule;

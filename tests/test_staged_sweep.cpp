@@ -13,6 +13,7 @@
 #include "core/dauwe_kernel.h"
 #include "core/dauwe_model.h"
 #include "core/optimizer.h"
+#include "prop_support.h"
 #include "systems/system_config.h"
 
 namespace mlck::core {
@@ -64,7 +65,10 @@ double pattern_of(const std::vector<int>& counts) {
 }
 
 TEST(StagedSweep, CursorBitMatchesPerPlanPathOnRandomSystems) {
-  std::mt19937_64 rng(kSeed);
+  const std::uint64_t seed = testprop::suite_seed(kSeed);
+  SCOPED_TRACE(testprop::repro(
+      "StagedSweep.CursorBitMatchesPerPlanPathOnRandomSystems", seed));
+  std::mt19937_64 rng(seed);
   int feasible = 0;
   int infeasible = 0;
   for (int trial = 0; trial < 400; ++trial) {
@@ -136,7 +140,10 @@ TEST(StagedSweep, CursorBitMatchesPerPlanPathOnRandomSystems) {
 }
 
 TEST(StagedSweep, StagedOptimizeBitMatchesGenericOnRandomSystems) {
-  std::mt19937_64 rng(kSeed ^ 0x5747454Eu);
+  const std::uint64_t seed = testprop::suite_seed(kSeed ^ 0x5747454Eu);
+  SCOPED_TRACE(testprop::repro(
+      "StagedSweep.StagedOptimizeBitMatchesGenericOnRandomSystems", seed));
+  std::mt19937_64 rng(seed);
   OptimizerOptions opts;  // shrunk grid: exactness is per-plan, not scale
   opts.coarse_tau_points = 16;
   opts.max_count = 12;

@@ -58,8 +58,8 @@ TEST(Csv, WritesRows) {
 }
 
 TEST(Cli, ParsesOptionsAndPositionals) {
-  const char* argv[] = {"prog", "--trials=50", "--verbose", "input.txt",
-                        "--ratio=2.5"};
+  const char* argv[] = {"prog", "input.txt", "--trials=50", "--ratio=2.5",
+                        "--verbose"};
   Cli cli(5, argv);
   EXPECT_EQ(cli.get_int("trials", 0), 50);
   EXPECT_TRUE(cli.has("verbose"));
@@ -68,6 +68,20 @@ TEST(Cli, ParsesOptionsAndPositionals) {
   EXPECT_EQ(cli.get_string("missing", "dflt"), "dflt");
   ASSERT_EQ(cli.positional().size(), 1u);
   EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(Cli, SpaceSeparatedValuesAttachToTheBareOption) {
+  // "--key value" is the same as "--key=value"; a bare "--flag" stays a
+  // flag when followed by another option or nothing.
+  const char* argv[] = {"prog", "--cases", "200", "--seed", "42",
+                        "--verbose", "--out=x.json"};
+  Cli cli(7, argv);
+  EXPECT_EQ(cli.get_int("cases", 0), 200);
+  EXPECT_EQ(cli.get_int("seed", 0), 42);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get_string("out", ""), "x.json");
+  EXPECT_TRUE(cli.positional().empty());
+  EXPECT_TRUE(cli.unrecognized().empty());
 }
 
 TEST(Cli, ReportsUnrecognizedOptions) {
