@@ -64,6 +64,23 @@ systems::SystemConfig system_from(const Cli& cli) {
   return core::load_system(*name);
 }
 
+/// Parses --law=<law>[:key=value,...] (the scenario "failure" grammar,
+/// e.g. --law=weibull:shape=0.7,scale=120). Empty optional when the flag
+/// is absent — commands keep their law-less output byte-identical then.
+/// Only the Dauwe model understands non-exponential laws; @p consumer
+/// names the flag's owner for the error message otherwise.
+std::optional<engine::DistributionSpec> law_from(const Cli& cli,
+                                                const std::string& model,
+                                                const char* consumer) {
+  const auto text = cli.value("law");
+  if (!text || text->empty()) return std::nullopt;
+  if (model != "dauwe") {
+    throw std::out_of_range(std::string("--law is supported for the dauwe ") +
+                            consumer + " only");
+  }
+  return engine::DistributionSpec::parse(*text);
+}
+
 /// Flushes a metrics registry the way every command does: to the sidecar
 /// file named by --metrics=<path>, or as tables after the report when the
 /// flag carries no path.
@@ -96,11 +113,21 @@ int cmd_show(const Cli& cli, std::ostream& out) {
 int cmd_optimize(const Cli& cli, std::ostream& out) {
   const auto system = system_from(cli);
   const std::string technique_name = cli.get_string("technique", "dauwe");
+  const auto law = law_from(cli, technique_name, "technique");
   const auto metrics_path = cli.value("metrics");
 
   std::unique_ptr<obs::MetricsRegistry> registry;
   core::TechniqueResult result;
-  if (metrics_path.has_value()) {
+  if (law.has_value() && !metrics_path.has_value()) {
+    // Law-aware search through the cached engine (the technique registry
+    // stays exponential-only).
+    engine::EvaluationEngine eng(system, {}, law->family());
+    const core::OptimizationResult best = eng.optimize();
+    result.technique = "Dauwe et al.";
+    result.plan = best.plan;
+    result.predicted_time = best.expected_time;
+    result.predicted_efficiency = best.efficiency;
+  } else if (metrics_path.has_value()) {
     // Instrumented search under the standard scenario metric names. The
     // pool mirrors cmd_scenario's observability rule: at least two
     // workers, so pool.* reflects the real parallel shape.
@@ -112,7 +139,8 @@ int cmd_optimize(const Cli& cli, std::ostream& out) {
       // Same staged search DauweTechnique runs, driven through the cached
       // engine so the engine.* counters are exercised; the selected plan
       // is bit-identical (the engine equivalence tests cover this).
-      engine::EvaluationEngine eng(system);
+      engine::EvaluationEngine eng(system, {},
+                                   law ? law->family() : nullptr);
       eng.attach_metrics(wiring.engine);
       core::OptimizerOptions optimizer_options;
       optimizer_options.metrics = &wiring.optimizer;
@@ -131,6 +159,7 @@ int cmd_optimize(const Cli& cli, std::ostream& out) {
   }
   Table table({"field", "value"});
   table.add_row({"technique", result.technique});
+  if (law) table.add_row({"failure law", law->to_string()});
   table.add_row({"plan", result.plan.to_string()});
   table.add_row({"predicted time (min)",
                  Table::num(result.predicted_time, 2)});
@@ -155,11 +184,14 @@ int cmd_predict(const Cli& cli, std::ostream& out) {
       util::Json::parse(core::read_file(*plan_path)));
   plan.validate(system);
   const std::string model_name = cli.get_string("model", "dauwe");
+  const auto law = law_from(cli, model_name, "model");
   const auto metrics_path = cli.value("metrics");
 
   std::unique_ptr<obs::MetricsRegistry> registry;
   core::Prediction prediction;
-  if (metrics_path.has_value()) {
+  if (law.has_value() && !metrics_path.has_value()) {
+    prediction = core::DauweModel({}, law->family()).predict(system, plan);
+  } else if (metrics_path.has_value()) {
     // Instrumented path. Only the Dauwe model runs through the cached
     // engine (its engine.* counters move); other models have no
     // instrumentation points, so their registry reports zeros.
@@ -170,7 +202,8 @@ int cmd_predict(const Cli& cli, std::ostream& out) {
         &registry->counter("engine.context_cache.misses");
     wiring.evaluations = &registry->counter("engine.evaluations");
     if (model_name == "dauwe") {
-      engine::EvaluationEngine eng(system);
+      engine::EvaluationEngine eng(system, {},
+                                   law ? law->family() : nullptr);
       eng.attach_metrics(wiring);
       prediction = eng.predict(plan);
     } else {
@@ -181,6 +214,7 @@ int cmd_predict(const Cli& cli, std::ostream& out) {
   }
   Table table({"field", "value"});
   table.add_row({"plan", plan.to_string()});
+  if (law) table.add_row({"failure law", law->to_string()});
   table.add_row({"expected time (min)",
                  Table::num(prediction.expected_time, 2)});
   table.add_row({"efficiency", Table::pct(prediction.efficiency)});
@@ -568,6 +602,50 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
   return code;
 }
 
+/// One `--laws=` pool entry as a VerifyLaw. Entries use the DistributionSpec
+/// family grammar ("weibull:shape=0.7"); mean/scale make no sense for a
+/// verification pool (the harness resolves time scales per generated
+/// system) and are rejected.
+verify::VerifyLaw to_verify_law(const engine::DistributionSpec& spec) {
+  if (spec.mean > 0.0 || spec.scale > 0.0) {
+    throw std::out_of_range(
+        "--laws entries name law families; mean/scale are not allowed");
+  }
+  switch (spec.kind) {
+    case engine::DistributionSpec::Kind::kWeibull:
+      return verify::weibull_verify_law(spec.shape);
+    case engine::DistributionSpec::Kind::kLogNormal:
+      return verify::lognormal_verify_law(spec.sigma);
+    case engine::DistributionSpec::Kind::kExponential:
+      break;
+  }
+  return verify::exponential_verify_law();
+}
+
+/// Parses `--laws=all` or a '+'-separated pool ("exponential+weibull:
+/// shape=0.5+lognormal"). '+' separates entries because ',' already
+/// separates parameters inside one entry.
+std::vector<verify::VerifyLaw> parse_law_pool(const std::string& text) {
+  if (text == "all") {
+    return {verify::exponential_verify_law(), verify::weibull_verify_law(0.7),
+            verify::lognormal_verify_law(1.0)};
+  }
+  std::vector<verify::VerifyLaw> pool;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t sep = text.find('+', start);
+    const std::size_t end = sep == std::string::npos ? text.size() : sep;
+    const std::string entry = text.substr(start, end - start);
+    if (entry.empty()) {
+      throw std::out_of_range("--laws: empty pool entry in \"" + text + "\"");
+    }
+    pool.push_back(to_verify_law(engine::DistributionSpec::parse(entry)));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return pool;
+}
+
 int cmd_selftest(const Cli& cli, std::ostream& out) {
   verify::SelftestOptions options;
   options.cases = static_cast<std::size_t>(cli.get_int("cases", 200));
@@ -578,6 +656,10 @@ int cmd_selftest(const Cli& cli, std::ostream& out) {
       static_cast<std::size_t>(cli.get_int("welch-systems", 8));
   options.alpha = cli.get_double("alpha", 0.01);
   options.welch_gating = cli.get_bool("welch-gate", false);
+  if (const auto laws = cli.value("laws"); laws && !laws->empty()) {
+    options.laws_flag = *laws;
+    options.generator.laws = parse_law_pool(*laws);
+  }
 
   std::unique_ptr<util::ThreadPool> pool;
   if (const int threads = cli.get_int("threads", 0); threads > 0) {

@@ -16,8 +16,14 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 DauweKernel::DauweKernel(const systems::SystemConfig& system,
                          const std::vector<int>& levels,
-                         const DauweOptions& options)
+                         const DauweOptions& options,
+                         std::shared_ptr<const math::FailureLaw> law)
     : base_time_(system.base_time), options_(options) {
+  // Null or explicit-exponential law selects the closed-form fast path:
+  // no primitive is ever built and every term below computes through the
+  // exact same math/exponential.h calls as the law-less kernel, so the
+  // default model stays bit-identical.
+  const bool generalized = !math::is_exponential_family(law.get());
   const EffectiveSystem eff = make_effective(system, levels);
   scratch_lambda_ = eff.scratch_lambda;
   level_.reserve(eff.level.size());
@@ -30,11 +36,28 @@ DauweKernel::DauweKernel(const systems::SystemConfig& system,
     terms.restart_cost = lvl.restart_cost;
     terms.severity_share = lvl.severity_share;
     terms.lambda_c = lambda_c;
-    terms.ck_retry = math::expected_retries(lvl.checkpoint_cost, lambda_c);
-    terms.ck_trunc = math::truncated_mean(lvl.checkpoint_cost, lambda_c);
-    terms.r_retry = math::expected_retries(lvl.restart_cost, lambda_c);
-    terms.r_trunc = math::truncated_mean(lvl.restart_cost, lambda_c);
+    if (generalized && lambda_c > 0.0) {
+      const auto prim_c = law->primitive(lambda_c);
+      terms.ck_retry = prim_c->expected_retries(lvl.checkpoint_cost);
+      terms.ck_trunc = prim_c->truncated_mean(lvl.checkpoint_cost);
+      terms.r_retry = prim_c->expected_retries(lvl.restart_cost);
+      terms.r_trunc = prim_c->truncated_mean(lvl.restart_cost);
+    } else {
+      // Zero-rate levels stay on the closed forms under every law: the
+      // conventions there (no retries, uniform-limit truncated mean) are
+      // rate-independent.
+      terms.ck_retry = math::expected_retries(lvl.checkpoint_cost, lambda_c);
+      terms.ck_trunc = math::truncated_mean(lvl.checkpoint_cost, lambda_c);
+      terms.r_retry = math::expected_retries(lvl.restart_cost, lambda_c);
+      terms.r_trunc = math::truncated_mean(lvl.restart_cost, lambda_c);
+    }
+    if (generalized && lvl.lambda > 0.0) {
+      terms.law = law->primitive(lvl.lambda);
+    }
     level_.push_back(terms);
+  }
+  if (generalized && scratch_lambda_ > 0.0) {
+    scratch_law_ = law->primitive(scratch_lambda_);
   }
 }
 
@@ -101,8 +124,15 @@ void DauweKernel::Cursor::enter(int k, double tau) noexcept {
   // below a dead stage).
   if (dead_from_ >= k) dead_from_ = kDauweMaxLevels + 1;
   const DauweLevelTerms& lvl = kernel_->level_[static_cast<std::size_t>(k)];
-  const double gamma = math::expected_retries(tau, lvl.lambda);
-  const double e_tau = math::truncated_mean(tau, lvl.lambda);
+  double gamma;
+  double e_tau;
+  if (lvl.law != nullptr) {
+    gamma = lvl.law->expected_retries(tau);
+    e_tau = lvl.law->truncated_mean(tau);
+  } else {
+    gamma = math::expected_retries(tau, lvl.lambda);
+    e_tau = math::truncated_mean(tau, lvl.lambda);
+  }
   gamma_[static_cast<std::size_t>(k)] = gamma;
   gamma_e_[static_cast<std::size_t>(k)] = gamma * e_tau;
 }
@@ -170,6 +200,11 @@ double DauweKernel::recursion(double tau0, std::span<const int> counts,
 
 double DauweKernel::wrap_scratch(double before_scratch) const noexcept {
   if (scratch_lambda_ <= 0.0) return before_scratch;
+  if (scratch_law_ != nullptr) {
+    const double reruns = scratch_law_->expected_retries(before_scratch);
+    return before_scratch +
+           reruns * scratch_law_->truncated_mean(before_scratch);
+  }
   const double reruns = math::expected_retries(before_scratch, scratch_lambda_);
   return before_scratch +
          reruns * math::truncated_mean(before_scratch, scratch_lambda_);
@@ -214,10 +249,14 @@ Prediction DauweKernel::predict(const CheckpointPlan& plan) const {
 
   double total = before_scratch;
   if (scratch_lambda_ > 0.0) {
-    const double reruns =
-        math::expected_retries(before_scratch, scratch_lambda_);
-    b.scratch_rework =
-        reruns * math::truncated_mean(before_scratch, scratch_lambda_);
+    if (scratch_law_ != nullptr) {
+      b.scratch_rework = scratch_law_->expected_retries(before_scratch) *
+                         scratch_law_->truncated_mean(before_scratch);
+    } else {
+      b.scratch_rework =
+          math::expected_retries(before_scratch, scratch_lambda_) *
+          math::truncated_mean(before_scratch, scratch_lambda_);
+    }
     total += b.scratch_rework;
   }
   p.expected_time = total;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "core/effective.h"
 #include "core/model.h"
 #include "core/plan.h"
+#include "math/failure_law.h"
 #include "systems/system_config.h"
 
 namespace mlck::core {
@@ -43,6 +45,13 @@ struct DauweLevelTerms {
   double ck_trunc = 0.0;        ///< truncated_mean(delta_k, lambda_c)
   double r_retry = 0.0;         ///< expected_retries(R_k, lambda_c)
   double r_trunc = 0.0;         ///< truncated_mean(R_k, lambda_c)
+  /// Failure-law primitive at this level's severity rate (mean 1 / lambda),
+  /// for the cursor's per-interval gamma_k / E(tau_k) pair. Null on the
+  /// exponential fast path (and for zero-rate levels), where the cursor
+  /// calls the closed forms of math/exponential.h directly — that branch
+  /// is what keeps the default model bit-identical to the pre-primitive
+  /// code.
+  std::shared_ptr<const math::LawPrimitive> law;
 };
 
 /// The hot core of the paper's model, split into a build step and an
@@ -61,9 +70,14 @@ class DauweKernel {
   DauweKernel() = default;
 
   /// Precomputes the invariants for plans over @p levels (ascending,
-  /// unique, valid system level indices, size 1..kDauweMaxLevels).
+  /// unique, valid system level indices, size 1..kDauweMaxLevels). When
+  /// @p law names a non-exponential family, every per-level retry /
+  /// truncated-mean term is served by that family's primitives at the
+  /// corresponding effective rate; a null or exponential @p law selects
+  /// the closed-form fast path, bit-identical to the law-less kernel.
   DauweKernel(const systems::SystemConfig& system,
-              const std::vector<int>& levels, const DauweOptions& options);
+              const std::vector<int>& levels, const DauweOptions& options,
+              std::shared_ptr<const math::FailureLaw> law = nullptr);
 
   /// Prefix-incremental cursor over the Eqns. 4-14 recursion.
   ///
@@ -155,6 +169,11 @@ class DauweKernel {
   double scratch_lambda() const noexcept { return scratch_lambda_; }
   double base_time() const noexcept { return base_time_; }
   const DauweOptions& options() const noexcept { return options_; }
+  /// Primitive driving the restart-from-scratch wrap; null on the
+  /// exponential fast path.
+  const math::LawPrimitive* scratch_law() const noexcept {
+    return scratch_law_.get();
+  }
 
  private:
   /// All terms of stage k (Eqns. 4-14) given its entering state: the
@@ -168,6 +187,10 @@ class DauweKernel {
   double scratch_lambda_ = 0.0;
   double base_time_ = 0.0;
   DauweOptions options_;
+  /// Family primitive at scratch_lambda_ for wrap_scratch / predict; null
+  /// on the exponential fast path or when no severity restarts from
+  /// scratch.
+  std::shared_ptr<const math::LawPrimitive> scratch_law_;
 };
 
 }  // namespace mlck::core

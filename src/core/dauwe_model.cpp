@@ -13,14 +13,14 @@ namespace mlck::core {
 
 double DauweModel::expected_time(const systems::SystemConfig& system,
                                  const CheckpointPlan& plan) const {
-  const DauweKernel kernel(system, plan.levels, options_);
+  const DauweKernel kernel(system, plan.levels, options_, law_);
   return kernel.expected_time(plan.tau0, plan.counts);
 }
 
 Prediction DauweModel::predict(const systems::SystemConfig& system,
                                const CheckpointPlan& plan) const {
   plan.validate(system);
-  const DauweKernel kernel(system, plan.levels, options_);
+  const DauweKernel kernel(system, plan.levels, options_, law_);
   return kernel.predict(plan);
 }
 

@@ -1,7 +1,11 @@
 #pragma once
 
+#include <memory>
+#include <utility>
+
 #include "core/effective.h"
 #include "core/model.h"
+#include "math/failure_law.h"
 
 namespace mlck::core {
 
@@ -51,8 +55,16 @@ struct DauweOptions {
 /// bound.
 class DauweModel : public ExecutionTimeModel {
  public:
-  explicit DauweModel(DauweOptions options = {}) noexcept
-      : options_(options) {}
+  /// @p law generalizes the failure process beyond the paper's
+  /// exponential assumption (Sec. III derives the recursion "for a chosen
+  /// probability density function"): per-severity rates from the system
+  /// config pick each level's family member (mean 1 / rate). Null or an
+  /// explicit exponential family keeps the closed-form fast path,
+  /// bit-identical to the law-less model.
+  explicit DauweModel(DauweOptions options = {},
+                      std::shared_ptr<const math::FailureLaw> law =
+                          nullptr) noexcept
+      : options_(options), law_(std::move(law)) {}
 
   double expected_time(const systems::SystemConfig& system,
                        const CheckpointPlan& plan) const override;
@@ -61,9 +73,13 @@ class DauweModel : public ExecutionTimeModel {
                      const CheckpointPlan& plan) const override;
 
   const DauweOptions& options() const noexcept { return options_; }
+  const std::shared_ptr<const math::FailureLaw>& law() const noexcept {
+    return law_;
+  }
 
  private:
   DauweOptions options_;
+  std::shared_ptr<const math::FailureLaw> law_;
 };
 
 }  // namespace mlck::core

@@ -5,8 +5,9 @@
 namespace mlck::engine {
 
 EvaluationEngine::EvaluationEngine(systems::SystemConfig system,
-                                   core::DauweOptions options)
-    : system_(std::move(system)), options_(options) {
+                                   core::DauweOptions options,
+                                   std::shared_ptr<const math::FailureLaw> law)
+    : system_(std::move(system)), options_(options), law_(std::move(law)) {
   system_.validate();
 }
 
@@ -45,7 +46,7 @@ const EvaluationContext& EvaluationEngine::context(
     return *ctx;
   }
   obs::Span span(trace_, "engine.context_build", "engine");
-  auto* node = new ContextNode(system_, levels, options_,
+  auto* node = new ContextNode(system_, levels, options_, law_,
                                head_.load(std::memory_order_relaxed));
   head_.store(node, std::memory_order_release);
   if (metrics_.context_misses != nullptr) metrics_.context_misses->add();

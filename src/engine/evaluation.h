@@ -1,8 +1,10 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/dauwe_kernel.h"
@@ -34,8 +36,10 @@ struct EvaluationContext {
   core::DauweKernel kernel;   ///< precomputed terms + recursion
 
   EvaluationContext(const systems::SystemConfig& system,
-                    std::vector<int> subset, const core::DauweOptions& options)
-      : levels(std::move(subset)), kernel(system, levels, options) {}
+                    std::vector<int> subset, const core::DauweOptions& options,
+                    std::shared_ptr<const math::FailureLaw> law = nullptr)
+      : levels(std::move(subset)),
+        kernel(system, levels, options, std::move(law)) {}
 };
 
 /// Cached evaluation front-end for one (system, model-options) pair — the
@@ -56,14 +60,21 @@ struct EvaluationContext {
 /// mutex, and contexts are immutable afterwards.
 class EvaluationEngine {
  public:
+  /// @p law threads a failure-law family into every cached kernel (see
+  /// DauweKernel); null or exponential keeps the bit-identical fast path.
   explicit EvaluationEngine(systems::SystemConfig system,
-                            core::DauweOptions options = {});
+                            core::DauweOptions options = {},
+                            std::shared_ptr<const math::FailureLaw> law =
+                                nullptr);
   ~EvaluationEngine();
   EvaluationEngine(const EvaluationEngine&) = delete;
   EvaluationEngine& operator=(const EvaluationEngine&) = delete;
 
   const systems::SystemConfig& system() const noexcept { return system_; }
   const core::DauweOptions& options() const noexcept { return options_; }
+  const std::shared_ptr<const math::FailureLaw>& law() const noexcept {
+    return law_;
+  }
 
   /// The cached context for @p levels, building it on first use.
   const EvaluationContext& context(const std::vector<int>& levels) const;
@@ -111,8 +122,11 @@ class EvaluationEngine {
   /// engine dies — which is what makes the read path lock- and wait-free.
   struct ContextNode {
     ContextNode(const systems::SystemConfig& system, std::vector<int> subset,
-                const core::DauweOptions& options, const ContextNode* tail)
-        : context(system, std::move(subset), options), next(tail) {}
+                const core::DauweOptions& options,
+                std::shared_ptr<const math::FailureLaw> law,
+                const ContextNode* tail)
+        : context(system, std::move(subset), options, std::move(law)),
+          next(tail) {}
     EvaluationContext context;
     const ContextNode* next;
   };
@@ -123,6 +137,7 @@ class EvaluationEngine {
 
   systems::SystemConfig system_;
   core::DauweOptions options_;
+  std::shared_ptr<const math::FailureLaw> law_;
   EngineMetrics metrics_;
   obs::TraceSink* trace_ = nullptr;
   mutable std::mutex mutex_;  ///< serializes context *builds* only

@@ -1,5 +1,7 @@
 #include "engine/scenario.h"
 
+#include <cmath>
+#include <cstdio>
 #include <initializer_list>
 #include <optional>
 #include <stdexcept>
@@ -66,6 +68,48 @@ DistributionSpec::Kind kind_from_name(const std::string& name) {
   if (name == "lognormal") return DistributionSpec::Kind::kLogNormal;
   throw std::invalid_argument("unknown distribution kind: " + name +
                               " (use exponential|weibull|lognormal)");
+}
+
+/// Shortest faithful parameter rendering for the CLI grammar: integral
+/// values print without a fraction, everything else uses the shortest
+/// %g precision that parses back to the same double ("0.7", not
+/// "0.69999999999999996").
+std::string param_to_string(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::stod(buf) == value) break;
+  }
+  return buf;
+}
+
+/// Shared strictness for parse() and the JSON forms: parameters must be
+/// positive where given, shape/sigma must match the law, and mean/scale
+/// are mutually exclusive ways to set the time scale.
+void check_distribution_spec(const DistributionSpec& spec,
+                             const char* context) {
+  const auto fail = [context](const std::string& what) {
+    throw std::invalid_argument(std::string(context) + ": " + what);
+  };
+  if (!(spec.shape > 0.0) || !std::isfinite(spec.shape)) {
+    fail("shape must be positive and finite");
+  }
+  if (!(spec.sigma > 0.0) || !std::isfinite(spec.sigma)) {
+    fail("sigma must be positive and finite");
+  }
+  if (spec.mean < 0.0 || !std::isfinite(spec.mean)) {
+    fail("mean must be positive (or omitted for the system MTBF)");
+  }
+  if (spec.scale < 0.0 || !std::isfinite(spec.scale)) {
+    fail("scale must be positive (or omitted)");
+  }
+  if (spec.mean > 0.0 && spec.scale > 0.0) {
+    fail("give at most one of mean and scale");
+  }
 }
 
 Json model_options_to_json(const core::DauweOptions& opts) {
@@ -154,23 +198,121 @@ sim::SimOptions sim_from_json(const Json& doc) {
 
 }  // namespace
 
+double DistributionSpec::resolved_mean(double system_mtbf) const {
+  if (mean > 0.0) return mean;
+  if (scale > 0.0) {
+    switch (kind) {
+      case Kind::kExponential: return scale;
+      case Kind::kWeibull: return scale * std::tgamma(1.0 + 1.0 / shape);
+      case Kind::kLogNormal: return scale * std::exp(0.5 * sigma * sigma);
+    }
+  }
+  return system_mtbf;
+}
+
 std::unique_ptr<math::FailureDistribution> DistributionSpec::make(
     const systems::SystemConfig& system) const {
-  const double resolved_mean = mean > 0.0 ? mean : system.mtbf;
+  const double m = resolved_mean(system.mtbf);
   switch (kind) {
     case Kind::kExponential:
-      return std::make_unique<math::Exponential>(1.0 / resolved_mean);
+      return std::make_unique<math::Exponential>(1.0 / m);
     case Kind::kWeibull:
       return std::make_unique<math::Weibull>(
-          math::Weibull::with_mean(resolved_mean, shape));
+          math::Weibull::with_mean(m, shape));
     case Kind::kLogNormal:
       return std::make_unique<math::LogNormal>(
-          math::LogNormal::with_mean(resolved_mean, sigma));
+          math::LogNormal::with_mean(m, sigma));
   }
   throw std::logic_error("unreachable distribution kind");
 }
 
+std::shared_ptr<const math::FailureLaw> DistributionSpec::family() const {
+  switch (kind) {
+    case Kind::kExponential: return nullptr;  // closed-form fast path
+    case Kind::kWeibull: return math::FailureLaw::weibull(shape);
+    case Kind::kLogNormal: return math::FailureLaw::lognormal(sigma);
+  }
+  throw std::logic_error("unreachable distribution kind");
+}
+
+DistributionSpec DistributionSpec::parse(const std::string& text) {
+  DistributionSpec spec;
+  const std::size_t colon = text.find(':');
+  spec.kind = kind_from_name(text.substr(0, colon));
+  if (colon != std::string::npos) {
+    std::string params = text.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= params.size()) {
+      const std::size_t comma = params.find(',', pos);
+      const std::string item =
+          params.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      pos = comma == std::string::npos ? params.size() + 1 : comma + 1;
+      const std::size_t eq = item.find('=');
+      if (item.empty() || eq == std::string::npos) {
+        throw std::invalid_argument("failure law \"" + text +
+                                    "\": expected key=value, got \"" + item +
+                                    "\"");
+      }
+      const std::string key = item.substr(0, eq);
+      double value = 0.0;
+      try {
+        std::size_t used = 0;
+        value = std::stod(item.substr(eq + 1), &used);
+        if (used != item.size() - eq - 1) throw std::invalid_argument("");
+      } catch (const std::exception&) {
+        throw std::invalid_argument("failure law \"" + text +
+                                    "\": bad number in \"" + item + "\"");
+      }
+      if (key == "shape" && spec.kind == Kind::kWeibull) {
+        spec.shape = value;
+      } else if (key == "sigma" && spec.kind == Kind::kLogNormal) {
+        spec.sigma = value;
+      } else if (key == "mean") {
+        spec.mean = value;
+      } else if (key == "scale") {
+        spec.scale = value;
+      } else {
+        throw std::invalid_argument(
+            "failure law \"" + text + "\": unknown key \"" + key +
+            "\" (use shape [weibull] | sigma [lognormal] | mean | scale)");
+      }
+    }
+  }
+  check_distribution_spec(spec, "failure law");
+  return spec;
+}
+
+std::string DistributionSpec::to_string() const {
+  std::string out = kind_name(kind);
+  char sep = ':';
+  const auto emit = [&out, &sep](const char* key, double value) {
+    out += sep;
+    out += key;
+    out += '=';
+    out += param_to_string(value);
+    sep = ',';
+  };
+  if (kind == Kind::kWeibull) emit("shape", shape);
+  if (kind == Kind::kLogNormal) emit("sigma", sigma);
+  if (mean > 0.0) emit("mean", mean);
+  if (scale > 0.0) emit("scale", scale);
+  return out;
+}
+
 DistributionSpec DistributionSpec::from_json(const Json& doc) {
+  DistributionSpec spec;
+  require_known_keys(doc, "scenario.failure",
+                     {"law", "shape", "sigma", "mean", "scale"});
+  if (const Json* v = doc.find("law")) spec.kind = kind_from_name(v->as_string());
+  if (const Json* v = doc.find("shape")) spec.shape = v->as_number();
+  if (const Json* v = doc.find("sigma")) spec.sigma = v->as_number();
+  if (const Json* v = doc.find("mean")) spec.mean = v->as_number();
+  if (const Json* v = doc.find("scale")) spec.scale = v->as_number();
+  check_distribution_spec(spec, "scenario.failure");
+  return spec;
+}
+
+DistributionSpec DistributionSpec::from_legacy_json(const Json& doc) {
   DistributionSpec spec;
   require_known_keys(doc, "scenario.distribution",
                      {"kind", "shape", "sigma", "mean"});
@@ -178,15 +320,17 @@ DistributionSpec DistributionSpec::from_json(const Json& doc) {
   if (const Json* v = doc.find("shape")) spec.shape = v->as_number();
   if (const Json* v = doc.find("sigma")) spec.sigma = v->as_number();
   if (const Json* v = doc.find("mean")) spec.mean = v->as_number();
+  check_distribution_spec(spec, "scenario.distribution");
   return spec;
 }
 
 Json DistributionSpec::to_json() const {
   Json::Object doc;
-  doc["kind"] = Json(kind_name(kind));
+  doc["law"] = Json(kind_name(kind));
   if (kind == Kind::kWeibull) doc["shape"] = Json(shape);
   if (kind == Kind::kLogNormal) doc["sigma"] = Json(sigma);
   if (mean > 0.0) doc["mean"] = Json(mean);
+  if (scale > 0.0) doc["scale"] = Json(scale);
   return Json(std::move(doc));
 }
 
@@ -203,8 +347,8 @@ void ScenarioSpec::validate() const {
 ScenarioSpec ScenarioSpec::from_json(const Json& doc) {
   ScenarioSpec spec;
   require_known_keys(doc, "scenario",
-                     {"system", "model", "model_options", "distribution",
-                      "optimizer", "trials", "seed", "sim"});
+                     {"system", "model", "model_options", "failure",
+                      "distribution", "optimizer", "trials", "seed", "sim"});
   if (const Json* sys = doc.find("system")) {
     if (sys->is_string()) {
       spec.system_ref = sys->as_string();
@@ -216,8 +360,18 @@ ScenarioSpec ScenarioSpec::from_json(const Json& doc) {
   if (const Json* v = doc.find("model")) spec.model = v->as_string();
   if (const Json* v = doc.find("model_options"))
     spec.model_options = model_options_from_json(*v);
-  if (const Json* v = doc.find("distribution"))
-    spec.distribution = DistributionSpec::from_json(*v);
+  const Json* failure = doc.find("failure");
+  const Json* legacy = doc.find("distribution");
+  if (failure != nullptr && legacy != nullptr) {
+    throw std::invalid_argument(
+        "scenario: give either \"failure\" or the legacy \"distribution\" "
+        "section, not both");
+  }
+  if (failure != nullptr) {
+    spec.distribution = DistributionSpec::from_json(*failure);
+  } else if (legacy != nullptr) {
+    spec.distribution = DistributionSpec::from_legacy_json(*legacy);
+  }
   if (const Json* v = doc.find("optimizer"))
     spec.optimizer = optimizer_from_json(*v);
   if (const Json* v = doc.find("trials"))
@@ -237,7 +391,7 @@ Json ScenarioSpec::to_json() const {
   }
   doc["model"] = Json(model);
   doc["model_options"] = model_options_to_json(model_options);
-  doc["distribution"] = distribution.to_json();
+  doc["failure"] = distribution.to_json();
   doc["optimizer"] = optimizer_to_json(optimizer);
   doc["trials"] = Json(static_cast<double>(trials));
   doc["seed"] = Json(static_cast<double>(seed));

@@ -20,29 +20,63 @@ namespace mlck::engine {
 
 /// Declarative choice of failure inter-arrival law for a scenario. The
 /// default is the paper's exponential assumption at the system MTBF;
-/// Weibull/LogNormal select renewal processes with the same mean for the
-/// non-exponential stress studies (math/distribution.h).
+/// Weibull/LogNormal select the matching law *family* for both sides of a
+/// scenario: the model threads it through math::FailureLaw primitives
+/// (per-severity rates from the system config pick each level's family
+/// member), and the simulator draws renewal inter-arrivals from the
+/// resolved sampling distribution (math/distribution.h).
 struct DistributionSpec {
   enum class Kind { kExponential, kWeibull, kLogNormal };
 
   Kind kind = Kind::kExponential;
   double shape = 0.7;   ///< Weibull shape (ignored otherwise)
   double sigma = 1.0;   ///< LogNormal sigma (ignored otherwise)
-  /// Mean inter-arrival in minutes; <= 0 means "the system's MTBF".
+  /// Mean inter-arrival in minutes; <= 0 means "the system's MTBF"
+  /// (unless @ref scale sets the time scale instead).
   double mean = 0.0;
+  /// Alternative time-scale parameter, mutually exclusive with @ref mean:
+  /// the Weibull scale lambda (mean = lambda * Gamma(1 + 1/shape)), the
+  /// log-normal median exp(mu) (mean = median * exp(sigma^2 / 2)), or the
+  /// exponential mean itself. <= 0 means "not set".
+  double scale = 0.0;
 
   /// True for the exponential law at the system MTBF — the case where the
   /// simulator's native Poisson source applies and trial results stay
   /// bit-compatible with seeds from the pre-scenario API.
   bool is_default_exponential() const noexcept {
-    return kind == Kind::kExponential && mean <= 0.0;
+    return kind == Kind::kExponential && mean <= 0.0 && scale <= 0.0;
   }
 
-  /// Instantiates the law for @p system (resolves the default mean).
+  /// The mean inter-arrival this spec denotes for @p system_mtbf: the
+  /// explicit mean, else the mean implied by scale, else the MTBF.
+  double resolved_mean(double system_mtbf) const;
+
+  /// Instantiates the sampling law for @p system (resolves the mean).
   std::unique_ptr<math::FailureDistribution> make(
       const systems::SystemConfig& system) const;
 
+  /// The law family for the analytic model: null for exponential (the
+  /// closed-form fast path), a shared math::FailureLaw otherwise. Note
+  /// the model takes per-severity rates from the system config — mean and
+  /// scale apply to the simulator side only (docs/MODELS.md).
+  std::shared_ptr<const math::FailureLaw> family() const;
+
+  /// Parses the CLI grammar: "<law>[:key=value[,key=value...]]" with law
+  /// one of exponential|weibull|lognormal and keys shape (Weibull), sigma
+  /// (log-normal), mean, scale — e.g. "weibull:shape=0.7,scale=120".
+  /// Strict: unknown keys, non-positive parameters, or mean and scale
+  /// together throw std::invalid_argument.
+  static DistributionSpec parse(const std::string& text);
+  /// Round-trips through parse(): parse(to_string()) == *this.
+  std::string to_string() const;
+
+  /// Canonical JSON form, the scenario "failure" section:
+  ///   {"law": "weibull", "shape": 0.7, "scale": 120}
+  /// (keys law, shape, sigma, mean, scale; same strictness as parse()).
   static DistributionSpec from_json(const util::Json& doc);
+  /// Legacy "distribution" section ({kind, shape, sigma, mean}), still
+  /// accepted on input; to_json() always emits the "failure" form.
+  static DistributionSpec from_legacy_json(const util::Json& doc);
   util::Json to_json() const;
 };
 
@@ -72,9 +106,11 @@ struct ScenarioSpec {
   /// unknown model name checked lazily by run_scenario).
   void validate() const;
 
-  /// The cached evaluation engine for this scenario's system + options.
+  /// The cached evaluation engine for this scenario's system + options,
+  /// with the scenario's failure-law family threaded into every kernel
+  /// (null for exponential — the bit-identical fast path).
   EvaluationEngine make_engine() const {
-    return EvaluationEngine(system, model_options);
+    return EvaluationEngine(system, model_options, distribution.family());
   }
 
   /// Round-trip: from_json(to_json(spec)) == spec (compared as JSON).

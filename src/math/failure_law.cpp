@@ -1,0 +1,168 @@
+#include "math/failure_law.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "math/exponential.h"
+#include "math/retry.h"
+
+namespace mlck::math {
+
+namespace {
+
+void require_positive_rate(double rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument(
+        "FailureLaw::primitive: rate must be positive and finite");
+  }
+}
+
+/// Scaled view of a shared unit-mean table: the law of s * T for the
+/// tabulated T, i.e. the family member with mean s. Exact scaling
+/// relations, no re-tabulation:
+///   P(t) = P_u(t / s),  E(t) = s * E_u(t / s),  retries(t) = r_u(t / s).
+class ScaledTabulatedPrimitive final : public LawPrimitive {
+ public:
+  ScaledTabulatedPrimitive(std::shared_ptr<const TabulatedLaw> unit,
+                           double scale) noexcept
+      : unit_(std::move(unit)), scale_(scale) {}
+
+  double failure_probability(double t) const noexcept override {
+    return unit_->cdf(t / scale_);
+  }
+  double survival(double t) const noexcept override {
+    return unit_->survival(t / scale_);
+  }
+  double truncated_mean(double t) const noexcept override {
+    return scale_ * unit_->truncated_mean(t / scale_);
+  }
+  double expected_retries(double t) const noexcept override {
+    return unit_->expected_retries(t / scale_);
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << unit_->describe() << " scaled to mean " << scale_ * unit_->mean();
+    return os.str();
+  }
+
+ private:
+  std::shared_ptr<const TabulatedLaw> unit_;
+  double scale_;
+};
+
+class ExponentialLaw final : public FailureLaw {
+ public:
+  Kind kind() const noexcept override { return Kind::kExponential; }
+
+  std::shared_ptr<const LawPrimitive> primitive(double rate) const override {
+    require_positive_rate(rate);
+    return std::make_shared<ExponentialPrimitive>(rate);
+  }
+
+  std::unique_ptr<FailureDistribution> distribution(
+      double mean) const override {
+    return std::make_unique<Exponential>(1.0 / mean);
+  }
+
+  std::string describe() const override { return "exponential"; }
+};
+
+class WeibullLaw final : public FailureLaw {
+ public:
+  explicit WeibullLaw(double shape)
+      : shape_(shape),
+        unit_(std::make_shared<TabulatedLaw>(Weibull::with_mean(1.0, shape))) {
+  }
+
+  Kind kind() const noexcept override { return Kind::kWeibull; }
+
+  std::shared_ptr<const LawPrimitive> primitive(double rate) const override {
+    require_positive_rate(rate);
+    return std::make_shared<ScaledTabulatedPrimitive>(unit_, 1.0 / rate);
+  }
+
+  std::unique_ptr<FailureDistribution> distribution(
+      double mean) const override {
+    return std::make_unique<Weibull>(Weibull::with_mean(mean, shape_));
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "weibull(shape=" << shape_ << ")";
+    return os.str();
+  }
+
+ private:
+  double shape_;
+  std::shared_ptr<const TabulatedLaw> unit_;
+};
+
+class LogNormalLaw final : public FailureLaw {
+ public:
+  explicit LogNormalLaw(double sigma)
+      : sigma_(sigma),
+        unit_(std::make_shared<TabulatedLaw>(
+            LogNormal::with_mean(1.0, sigma))) {}
+
+  Kind kind() const noexcept override { return Kind::kLogNormal; }
+
+  std::shared_ptr<const LawPrimitive> primitive(double rate) const override {
+    require_positive_rate(rate);
+    return std::make_shared<ScaledTabulatedPrimitive>(unit_, 1.0 / rate);
+  }
+
+  std::unique_ptr<FailureDistribution> distribution(
+      double mean) const override {
+    return std::make_unique<LogNormal>(LogNormal::with_mean(mean, sigma_));
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "lognormal(sigma=" << sigma_ << ")";
+    return os.str();
+  }
+
+ private:
+  double sigma_;
+  std::shared_ptr<const TabulatedLaw> unit_;
+};
+
+}  // namespace
+
+double ExponentialPrimitive::failure_probability(double t) const noexcept {
+  return math::failure_probability(t, rate_);
+}
+
+double ExponentialPrimitive::survival(double t) const noexcept {
+  return math::survival(t, rate_);
+}
+
+double ExponentialPrimitive::truncated_mean(double t) const noexcept {
+  return math::truncated_mean(t, rate_);
+}
+
+double ExponentialPrimitive::expected_retries(double t) const noexcept {
+  return math::expected_retries(t, rate_);
+}
+
+std::string ExponentialPrimitive::describe() const {
+  std::ostringstream os;
+  os << "exponential(mean=" << 1.0 / rate_ << ")";
+  return os.str();
+}
+
+std::shared_ptr<const FailureLaw> FailureLaw::exponential() {
+  return std::make_shared<ExponentialLaw>();
+}
+
+std::shared_ptr<const FailureLaw> FailureLaw::weibull(double shape) {
+  return std::make_shared<WeibullLaw>(shape);
+}
+
+std::shared_ptr<const FailureLaw> FailureLaw::lognormal(double sigma) {
+  return std::make_shared<LogNormalLaw>(sigma);
+}
+
+}  // namespace mlck::math

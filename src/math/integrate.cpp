@@ -1,5 +1,6 @@
 #include "math/integrate.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace mlck::math {
@@ -39,6 +40,18 @@ double integrate(const std::function<double(double)>& f, double a, double b,
   const double fm = f(m);
   const double whole = simpson(fa, fm, fb, b - a);
   return adaptive(f, a, b, fa, fm, fb, whole, tol, /*depth=*/48);
+}
+
+IntegrationDomain integration_domain(double t, double mean) noexcept {
+  IntegrationDomain d;
+  if (mean <= 0.0) {
+    d.cap = t;
+    d.split = t;
+    return d;
+  }
+  d.cap = std::min(t, kDomainCapMultiple * mean);
+  d.split = std::min(d.cap, kBulkSplitMultiple * mean);
+  return d;
 }
 
 }  // namespace mlck::math

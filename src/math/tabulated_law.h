@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/distribution.h"
+
+namespace mlck::math {
+
+/// Production-grade tabulation of one failure law: the adaptive-Simpson
+/// machinery that previously lived only in the verify oracle, promoted to
+/// a reusable primitive. Build-time quadrature populates a log-spaced grid
+/// with the law's log-CDF, log-survival, and log partial first moment
+/// M(t) = integral_0^t x dF; queries interpolate with a monotone cubic
+/// (Fritsch-Carlson) in log-log space, so every derived quantity the model
+/// needs —
+///
+///   P(t)                (interval failure probability)
+///   E(t) = M(t) / P(t)  (truncated mean, paper Eqn. 2 generalized)
+///   P / (1 - P)         (the geometric retry factor)
+///
+/// — is one table lookup instead of one adaptive integral. Storing *logs*
+/// keeps the retry factor exp(logF - logS) numerically meaningful at both
+/// extremes: tiny windows (P ~ 1e-300) and windows deep past the cap
+/// (S underflows and retries saturate to +inf) both behave like the
+/// exponential closed forms do.
+///
+/// Domain policy: the grid spans [lo_fraction * mean, cap], where the cap
+/// starts at the shared math::kDomainCapMultiple means (the verify
+/// oracle's 60/rate rule) and extends until the tail mass drops below
+/// Options::tail_survival — heavy-tailed Weibull shapes keep real mass
+/// past 60 means, so a fixed cap would bias E(t) there. Below the grid the
+/// tables extrapolate linearly in log-log (exact for Weibull, conservative
+/// otherwise — the probabilities there are negligible either way); above
+/// it F and M saturate (E(t) -> mean) and log-survival keeps its end
+/// slope.
+///
+/// Immutable after construction; shared freely across threads.
+class TabulatedLaw {
+ public:
+  struct Options {
+    double lo_fraction = 1e-4;     ///< grid start as a fraction of the mean
+    int points_per_decade = 64;    ///< log-grid density
+    double tail_survival = 1e-14;  ///< grid extends until S(x) <= this
+    /// Hard stop for the tail extension, as a multiple of the mean (a
+    /// pathological law cannot grow the table without bound).
+    double hi_cap_multiple = 1e9;
+  };
+
+  /// Tabulates @p law (used during construction only; not retained).
+  explicit TabulatedLaw(const FailureDistribution& law)
+      : TabulatedLaw(law, Options()) {}
+  TabulatedLaw(const FailureDistribution& law, Options options);
+
+  double cdf(double t) const noexcept;
+  double survival(double t) const noexcept;
+  double truncated_mean(double t) const noexcept;
+  double expected_retries(double t) const noexcept;
+
+  double mean() const noexcept { return mean_; }
+  const std::string& describe() const noexcept { return describe_; }
+  std::size_t grid_points() const noexcept { return log_x_.size(); }
+
+ private:
+  /// Monotone-cubic evaluation of table @p y at log-abscissa @p lx,
+  /// linearly extrapolating below the grid and, when @p saturate_above,
+  /// clamping to the last knot above it (otherwise extending the end
+  /// slope).
+  double eval(const std::vector<double>& y, const std::vector<double>& slope,
+              double lx, bool saturate_above) const noexcept;
+
+  double mean_ = 0.0;
+  std::string describe_;
+  std::vector<double> log_x_;   ///< log-spaced abscissae (log x)
+  std::vector<double> log_f_;   ///< log CDF, floored at the underflow edge
+  std::vector<double> log_s_;   ///< log survival, floored likewise
+  std::vector<double> log_m_;   ///< log partial first moment
+  std::vector<double> slope_f_, slope_s_, slope_m_;  ///< monotone slopes
+};
+
+}  // namespace mlck::math

@@ -47,9 +47,12 @@ class RandomFailureSource : public FailureSource {
 /// FailureDistribution, severities from the system's severity mix. With an
 /// Exponential distribution this coincides (in distribution) with
 /// RandomFailureSource; with Weibull shape < 1 it produces the bursty
-/// failure clustering reported for production HPC systems, which the
-/// analytic models — all derived under the exponential assumption — do not
-/// capture. Used by the failure-distribution ablation.
+/// failure clustering reported for production HPC systems. The analytic
+/// model approximates this as one tabulated law per severity class
+/// (docs/MODELS.md) — close, but not the same process, since thinning a
+/// renewal process by severity does not yield independent renewal
+/// processes; `mlck selftest --laws=...` bounds the gap with per-law
+/// Welch margins. Used by `mlck scenario` and the distribution ablation.
 class RenewalFailureSource : public FailureSource {
  public:
   /// @p interarrival must outlive this source (not owned).

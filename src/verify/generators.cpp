@@ -14,6 +14,28 @@ double log_uniform(util::Rng& rng, double lo, double hi) {
 
 }  // namespace
 
+VerifyLaw exponential_verify_law() { return {}; }
+
+VerifyLaw weibull_verify_law(double shape) {
+  VerifyLaw law;
+  law.oracle.kind = OracleLaw::Kind::kWeibull;
+  law.oracle.shape = shape;
+  law.family = math::FailureLaw::weibull(shape);
+  law.name = law.family->describe();
+  law.welch_rel_tolerance = 0.15;
+  return law;
+}
+
+VerifyLaw lognormal_verify_law(double sigma) {
+  VerifyLaw law;
+  law.oracle.kind = OracleLaw::Kind::kLogNormal;
+  law.oracle.sigma = sigma;
+  law.family = math::FailureLaw::lognormal(sigma);
+  law.name = law.family->describe();
+  law.welch_rel_tolerance = 0.15;
+  return law;
+}
+
 systems::SystemConfig random_system(util::Rng& rng,
                                     const GeneratorOptions& options) {
   const int span = options.max_levels - options.min_levels + 1;
@@ -99,6 +121,11 @@ VerifyCase make_case(std::uint64_t base_seed, std::size_t index,
   c.system = random_system(rng, options);
   c.plan = random_plan(rng, c.system, options);
   c.options = random_dauwe_options(rng);
+  // Drawn last so a law pool extends, rather than reshuffles, the
+  // system/plan/options stream of an established seed.
+  if (!options.laws.empty()) {
+    c.law = options.laws[rng.below(options.laws.size())];
+  }
   return c;
 }
 

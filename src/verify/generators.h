@@ -1,14 +1,42 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/dauwe_model.h"
 #include "core/plan.h"
+#include "math/failure_law.h"
 #include "systems/system_config.h"
 #include "util/rng.h"
+#include "verify/oracle.h"
 
 namespace mlck::verify {
+
+/// One failure law as the verification harness sees it: the quadrature
+/// oracle's selector, the model-side family (null for the exponential
+/// closed-form fast path), and a stable display name for reports. Build
+/// these through the factories below — each Weibull/log-normal family
+/// tabulates its unit-mean law once at construction, so a pool entry is
+/// cheap to copy into every generated case.
+struct VerifyLaw {
+  OracleLaw oracle;
+  std::shared_ptr<const math::FailureLaw> family;  ///< null == exponential
+  std::string name = "exponential";
+  /// Relative model-vs-simulator equivalence margin for the Welch
+  /// validation. Non-exponential scenarios drive the simulator through a
+  /// *thinned renewal* process that the per-severity analytic model only
+  /// approximates, so plain statistical significance would flag a correct
+  /// implementation; a Welch rejection is counted only when the relative
+  /// gap also exceeds this margin (docs/MODELS.md). 0 keeps the pure
+  /// Welch criterion of the exponential arm.
+  double welch_rel_tolerance = 0.0;
+};
+
+VerifyLaw exponential_verify_law();
+VerifyLaw weibull_verify_law(double shape);
+VerifyLaw lognormal_verify_law(double sigma);
 
 /// Distribution bounds for the randomized verification generators. The
 /// defaults span the paper's Table I regimes (MTBF 3 min .. 7000 min,
@@ -29,6 +57,11 @@ struct GeneratorOptions {
   /// band (at least one top-level period fits in T_B); the remainder is
   /// drawn past the bound so the +inf paths stay covered.
   double feasible_fraction = 0.85;
+  /// Failure-law pool for the stream. Empty (the default) keeps every
+  /// case exponential and makes NO law draw, so the random streams — and
+  /// with them every existing seed's cases — are unchanged. A non-empty
+  /// pool draws one entry per case, after all other fields.
+  std::vector<VerifyLaw> laws;
 };
 
 /// Random structurally-valid system: severity shares normalized to 1,
@@ -60,6 +93,10 @@ struct VerifyCase {
   systems::SystemConfig system;
   core::CheckpointPlan plan;
   core::DauweOptions options;
+  /// The case's failure law (exponential unless GeneratorOptions::laws is
+  /// non-empty); checks thread law.family into the model side and
+  /// law.oracle into the quadrature side.
+  VerifyLaw law;
 };
 
 /// Deterministically generates case @p index of the stream rooted at

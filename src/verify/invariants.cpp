@@ -1,5 +1,6 @@
 #include "verify/invariants.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -74,9 +75,24 @@ void CheckResult::merge(CheckResult other) {
 }
 
 CheckResult check_oracle_agreement(const VerifyCase& c,
-                                   const TolerancePolicy& policy) {
+                                   const TolerancePolicy& base_policy) {
   CheckResult result;
-  const core::DauweModel model(c.options);
+  const core::DauweModel model(c.options, c.law.family);
+  // Non-exponential laws answer from the tabulated interpolant, whose
+  // documented accuracy (docs/MODELS.md) is ~1e-4 on cdf/truncated mean
+  // and ~1e-3 on the retry factor — far above quadrature noise. Widen the
+  // pre-condition band accordingly, and let the cap reach 100%: the
+  // recursion amplifies the tabulation error by the condition estimate,
+  // so past condition ~1e3 a *correct* implementation drifts by tens of
+  // percent and only order-of-magnitude divergence (a structural bug)
+  // remains meaningful. The exponential stream keeps its tight policy —
+  // there both sides run correlated closed forms.
+  TolerancePolicy policy = base_policy;
+  if (c.law.family != nullptr) {
+    policy.rel = std::max(policy.rel, 1e-3);
+    policy.abs = std::max(policy.abs, 1e-6);
+    policy.rel_cap = std::max(policy.rel_cap, 1.0);
+  }
   // The case's plan plus tau0 variants on both sides of it, so the oracle
   // also sees the neighboring feasibility regime.
   const double factors[] = {0.6, 1.0, 1.7};
@@ -85,8 +101,17 @@ CheckResult check_oracle_agreement(const VerifyCase& c,
     plan.tau0 *= f;
     double condition = 1.0;
     const double reference =
-        oracle_expected_time(c.system, plan, c.options, &condition);
+        oracle_expected_time(c.system, plan, c.options, &condition,
+                             c.law.oracle);
     const double value = model.expected_time(c.system, plan);
+    // Cap-regime saturation: deep in the infeasible regime the retry
+    // factors are ~e^{hundreds} and the derivations saturate to inf at
+    // different spots (closed forms overflow, tabulated survival
+    // underflows, the oracle cuts its substitution windows). Beyond any
+    // physical scale "absurdly large" and "infinite" are the same
+    // verdict, so compare nothing there.
+    constexpr double kSaturated = 1e50;
+    if (value > kSaturated && reference > kSaturated) continue;
     if (std::isfinite(value) && std::isfinite(reference)) {
       const double band =
           policy.abs + policy.effective_rel(condition) *
@@ -106,9 +131,10 @@ CheckResult check_oracle_agreement(const VerifyCase& c,
 
 CheckResult check_bit_identity(const VerifyCase& c) {
   CheckResult result;
-  const core::DauweModel model(c.options);
-  const core::DauweKernel kernel(c.system, c.plan.levels, c.options);
-  const engine::EvaluationEngine engine(c.system, c.options);
+  const core::DauweModel model(c.options, c.law.family);
+  const core::DauweKernel kernel(c.system, c.plan.levels, c.options,
+                                 c.law.family);
+  const engine::EvaluationEngine engine(c.system, c.options, c.law.family);
 
   const double t_model = model.expected_time(c.system, c.plan);
   const double t_kernel = kernel.expected_time(c.plan.tau0, c.plan.counts);
@@ -163,7 +189,7 @@ CheckResult check_bit_identity(const VerifyCase& c) {
 
 CheckResult check_metamorphic(const VerifyCase& c) {
   CheckResult result;
-  const core::DauweModel model(c.options);
+  const core::DauweModel model(c.options, c.law.family);
   const double base = model.expected_time(c.system, c.plan);
   if (std::isnan(base)) {
     result.fail("metamorphic", "expected_time is NaN on the base case");
@@ -206,7 +232,7 @@ CheckResult check_metamorphic(const VerifyCase& c) {
 CheckResult check_optimizer_dominance(const VerifyCase& c,
                                       const core::OptimizerOptions& grid) {
   CheckResult result;
-  const core::DauweModel model(c.options);
+  const core::DauweModel model(c.options, c.law.family);
   core::OptimizerOptions with = grid;
   with.allow_suffix_skipping = true;
   core::OptimizerOptions without = grid;

@@ -26,16 +26,19 @@ struct CheckResult {
   void merge(CheckResult other);
 };
 
-/// Oracle agreement: DauweModel::expected_time against the quadrature
-/// oracle within the (condition-widened) tolerance policy, on the case's
-/// plan and on a handful of tau0 variants around it.
+/// Oracle agreement: DauweModel::expected_time (under the case's failure
+/// law) against the quadrature oracle within the (condition-widened)
+/// tolerance policy, on the case's plan and on a handful of tau0 variants
+/// around it. Non-exponential cases pre-widen the band to the tabulated
+/// law's documented accuracy (docs/MODELS.md).
 CheckResult check_oracle_agreement(const VerifyCase& c,
                                    const TolerancePolicy& policy = {});
 
 /// Cross-implementation bit-identity: DauweModel, DauweKernel's per-plan
 /// entry points, the staged Cursor drive, and the cached EvaluationEngine
-/// must produce *bit-equal* expected times and predictions on the case.
-/// Every comparison is ==, never a tolerance.
+/// — all built with the case's failure law — must produce *bit-equal*
+/// expected times and predictions on the case. Every comparison is ==,
+/// never a tolerance.
 CheckResult check_bit_identity(const VerifyCase& c);
 
 /// Metamorphic properties of the closed-form model on the case:

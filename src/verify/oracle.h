@@ -54,6 +54,29 @@ double oracle_truncated_mean(double t, double rate);
 /// P / (1 - P) with both terms from quadrature.
 double oracle_expected_retries(double t, double rate);
 
+/// Failure-law selector for the law-aware oracle overloads below. `rate`
+/// keeps the meaning it has throughout the model layer: the law is the
+/// matching family member with mean 1 / rate (math::FailureLaw). The
+/// non-exponential oracles integrate *substituted* densities — Weibull
+/// through u = (x / lambda)^shape, log-normal through the standard-normal
+/// z — so they share no tabulation or closed forms with src/math beyond
+/// libm, which is what makes the agreement checks meaningful.
+struct OracleLaw {
+  enum class Kind { kExponential, kWeibull, kLogNormal };
+  Kind kind = Kind::kExponential;
+  double shape = 1.0;  ///< Weibull shape (ignored otherwise)
+  double sigma = 1.0;  ///< LogNormal sigma (ignored otherwise)
+};
+
+/// Law-aware quadrature primitives; with an exponential @p law each
+/// forwards to the function of the same name above (numerically
+/// identical, not merely close).
+double oracle_failure_probability(double t, double rate,
+                                  const OracleLaw& law);
+double oracle_survival(double t, double rate, const OracleLaw& law);
+double oracle_truncated_mean(double t, double rate, const OracleLaw& law);
+double oracle_expected_retries(double t, double rate, const OracleLaw& law);
+
 /// Independent evaluation of the full Dauwe recursion (Eqns. 4-14
 /// including the restart-from-scratch wrap) for one plan, built on the
 /// quadrature primitives with its own severity binning and naive
@@ -67,5 +90,14 @@ double oracle_expected_time(const systems::SystemConfig& system,
                             const core::CheckpointPlan& plan,
                             const core::DauweOptions& options = {},
                             double* condition = nullptr);
+
+/// Law-aware recursion: every per-level rate is interpreted through
+/// @p law's family, matching DauweModel with the corresponding
+/// math::FailureLaw. The exponential @p law runs the exact code path of
+/// the overload above.
+double oracle_expected_time(const systems::SystemConfig& system,
+                            const core::CheckpointPlan& plan,
+                            const core::DauweOptions& options,
+                            double* condition, const OracleLaw& law);
 
 }  // namespace mlck::verify

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,11 @@ struct SelftestOptions {
   /// implementation still rejects (see docs/TESTING.md).
   bool welch_gating = false;
 
+  /// The exact `--laws=` text the run was invoked with (empty for the
+  /// default exponential-only stream). Replay commands must carry it:
+  /// with a law pool active each case additionally draws its law.
+  std::string laws_flag;
+
   TolerancePolicy tolerance;
   GeneratorOptions generator;
 };
@@ -49,10 +55,11 @@ struct SelftestFailure {
   std::string repro;       ///< one-line CLI command replaying this case
 };
 
-/// One model-vs-simulator comparison.
+/// One model-vs-simulator comparison (one system under one failure law).
 struct WelchValidation {
   std::size_t index = 0;
   std::uint64_t seed = 0;
+  std::string law = "exponential";
   int levels = 0;
   double mtbf = 0.0;
   double base_time = 0.0;
@@ -64,6 +71,12 @@ struct WelchValidation {
   std::size_t capped_trials = 0;
   double statistic = 0.0;
   double p_two_sided = 1.0;
+  /// |predicted - sim_mean| / sim_mean, and the law's equivalence margin.
+  double rel_gap = 0.0;
+  double rel_tolerance = 0.0;
+  bool significant = false;  ///< Welch p below alpha
+  /// Final verdict: significant AND the gap exceeds the law's margin.
+  /// (Exponential margin is 0, so rejected == significant there.)
   bool rejected = false;
   bool skipped = false;
   std::string skip_reason;
@@ -83,6 +96,9 @@ struct SelftestReport {
   std::vector<SelftestFailure> failures;
   std::vector<WelchValidation> welch;
   std::size_t welch_rejections = 0;
+  /// Per-law rejection counts over the Welch phase (every law of the pool
+  /// appears, zero or not); keyed by VerifyLaw::name.
+  std::map<std::string, std::size_t> welch_rejections_by_law;
 
   /// Invariants all held, and (only when gating is on) no Welch rejection.
   bool passed() const noexcept;

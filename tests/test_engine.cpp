@@ -375,8 +375,54 @@ TEST(ScenarioSpec, RejectsTypoedKeysNamingKeyAndSection) {
   expect_unknown_key_rejected("model_options", "checkpoint_failure");
   expect_unknown_key_rejected("optimizer", "tau_mim");       // tau_min
   expect_unknown_key_rejected("optimizer", "coarse_points");
-  expect_unknown_key_rejected("distribution", "shap");       // shape
+  expect_unknown_key_rejected("failure", "shap");            // shape
   expect_unknown_key_rejected("sim", "restart_polcy");
+}
+
+TEST(ScenarioSpec, LegacyDistributionSectionStillParses) {
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D2");
+  spec.system_ref = "D2";
+  spec.distribution.kind = DistributionSpec::Kind::kWeibull;
+  spec.distribution.shape = 0.7;
+  auto doc = spec.to_json();
+  auto& root = doc.make_object();
+  // Rewrite the canonical "failure" section as the legacy "distribution"
+  // form ({kind, shape, sigma, mean}) an older spec file would carry.
+  root.erase("failure");
+  util::Json::Object legacy;
+  legacy["kind"] = util::Json(std::string("weibull"));
+  legacy["shape"] = util::Json(0.7);
+  root["distribution"] = util::Json(std::move(legacy));
+
+  const auto back = ScenarioSpec::from_json(doc);
+  EXPECT_EQ(back.distribution.kind, DistributionSpec::Kind::kWeibull);
+  EXPECT_EQ(back.distribution.shape, 0.7);
+  // to_json always re-emits the canonical form.
+  EXPECT_TRUE(back.to_json().at("failure").is_object());
+
+  // A typo inside the legacy section is still named with its section.
+  root["distribution"].make_object()["shap"] = util::Json(1.0);
+  try {
+    ScenarioSpec::from_json(doc);
+    FAIL() << "typo in the legacy distribution section was accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("shap"), std::string::npos) << message;
+    EXPECT_NE(message.find("scenario.distribution"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(ScenarioSpec, FailureAndLegacyDistributionTogetherAreRejected) {
+  ScenarioSpec spec;
+  spec.system = systems::table1_system("D2");
+  spec.system_ref = "D2";
+  auto doc = spec.to_json();  // carries the "failure" section
+  util::Json::Object legacy;
+  legacy["kind"] = util::Json(std::string("weibull"));
+  doc.make_object()["distribution"] = util::Json(std::move(legacy));
+  EXPECT_THROW(ScenarioSpec::from_json(doc), std::invalid_argument);
 }
 
 TEST(ScenarioSpec, StrictParsingStillAcceptsEveryKnownKey) {
@@ -416,7 +462,7 @@ TEST(RunScenario, DefaultExponentialBitMatchesDirectPipeline) {
   EXPECT_EQ(outcome.stats.mean_failures, stats.mean_failures);
 }
 
-TEST(RunScenario, NonExponentialDistributionChangesTheDraws) {
+TEST(RunScenario, NonExponentialDistributionChangesModelAndDraws) {
   ScenarioSpec spec;
   spec.system = systems::table1_system("D5");
   spec.trials = 50;
@@ -425,9 +471,10 @@ TEST(RunScenario, NonExponentialDistributionChangesTheDraws) {
   spec.distribution.kind = DistributionSpec::Kind::kWeibull;
   spec.distribution.shape = 0.7;
   const auto weibull = run_scenario(spec);
-  // Same plan (selection is model-driven, distribution-independent for
-  // the exponential-assumption model), different simulated draws.
-  EXPECT_EQ(exponential.selected.plan.tau0, weibull.selected.plan.tau0);
+  // Selection is law-aware: the Weibull model forecasts through the
+  // tabulated family, so both the forecast and the simulated draws move.
+  EXPECT_NE(exponential.selected.predicted_time,
+            weibull.selected.predicted_time);
   EXPECT_NE(exponential.stats.efficiency.mean,
             weibull.stats.efficiency.mean);
 }
