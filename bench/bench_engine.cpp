@@ -76,12 +76,20 @@ int main(int argc, char** argv) {
     const mlck::core::DauweModel model;
     const mlck::engine::EvaluationEngine engine(sys);
     const mlck::core::OptimizerOptions opts;
+    // This benchmark isolates the *kernel caching* gain (tier 1 vs
+    // tier 2), so the engine side runs the structurally-identical sweep:
+    // lane batching and bound pruning (the engine default; measured in
+    // BENCH_optimizer.json) are turned off to keep the strict identity
+    // check, evaluation count included.
+    mlck::core::OptimizerOptions engine_opts = opts;
+    engine_opts.lane_batch = false;
+    engine_opts.prune = false;
 
     // One untimed warm-up each: populates the engine's context cache and
     // faults in code/data so both timed paths start warm.
     const auto direct = mlck::core::optimize_intervals(model, sys, opts,
                                                        &pool);
-    const auto cached = engine.optimize(opts, &pool);
+    const auto cached = engine.optimize(engine_opts, &pool);
     if (!identical(direct, cached)) {
       std::cerr << "FATAL: engine result diverges from direct model on "
                 << name << "\n";
@@ -92,7 +100,7 @@ int main(int argc, char** argv) {
       mlck::core::optimize_intervals(model, sys, opts, &pool);
     });
     const double engine_s =
-        time_best(repeats, [&] { engine.optimize(opts, &pool); });
+        time_best(repeats, [&] { engine.optimize(engine_opts, &pool); });
 
     const auto evals = static_cast<double>(direct.evaluations);
     const double speedup = direct_s / engine_s;

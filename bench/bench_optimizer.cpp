@@ -1,15 +1,24 @@
-// Optimizer sweep kernel: prefix-incremental staged cursor vs the PR-1
-// cached-evaluator path. Both paths reuse the per-(system, level-subset)
-// DauweKernel; the cached path still runs the full Eqns. 4-14 recursion
-// per enumerated plan through a per-subset cost std::function, while the
-// staged path keeps a cursor over the count prefix so a leaf only pays
-// for the top stage and the scratch wrap. The search itself (grid,
-// ladder, pruning, refinement, tie-breaking) is shared code, so the
-// result check below is exact equality — identical plan, expected time,
-// and evaluation count — not a tolerance.
+// Optimizer sweep kernel trajectory, three tiers over the same search:
+//
+//   cached  — the PR-1 baseline: per-(system, level-subset) DauweKernel
+//             behind a per-subset cost std::function, the full Eqns. 4-14
+//             recursion per enumerated plan.
+//   staged  — the PR-3 prefix-incremental cursor (lane_batch and prune
+//             off): a leaf only pays for the top stage and the scratch
+//             wrap. Structurally identical search, exact-equal results
+//             including the evaluation count.
+//   pruned  — the lane-batched sweep with admissible subtree pruning
+//             (8 tau0 lanes per task + the Benoit-style lower bound
+//             against a per-subset incumbent). Same winner bit for bit;
+//             far fewer evaluated leaves. The sweep itself is not
+//             bit-identical, so the check here is winner equality plus
+//             the lattice accounting identity
+//             coarse_evaluations + pruned_feasibility + pruned_bound
+//             == tau_points x ladder^dims summed over level subsets,
+//             which must agree with the unpruned tiers' lattice.
 //
 // Writes BENCH_optimizer.json (deterministic key order via util::Json) so
-// the speedup and the bit_identical flag are tracked artifacts. --smoke
+// the speedups and the bit_identical flag are tracked artifacts. --smoke
 // shrinks the tau grid for CI; --metrics=file.json writes the engine /
 // optimizer / pool counter sidecar (docs/OBSERVABILITY.md).
 #include <algorithm>
@@ -54,12 +63,40 @@ double time_best(int repeats, const Fn& fn) {
   return best;
 }
 
-bool identical(const mlck::core::OptimizationResult& a,
-               const mlck::core::OptimizationResult& b) {
+/// The winner contract every tier must honor: identical plan, expected
+/// time, and efficiency. Evaluation counts are deliberately excluded —
+/// the pruned tier evaluates fewer leaves by design.
+bool same_winner(const mlck::core::OptimizationResult& a,
+                 const mlck::core::OptimizationResult& b) {
   return a.plan.tau0 == b.plan.tau0 && a.plan.counts == b.plan.counts &&
          a.plan.levels == b.plan.levels &&
-         a.expected_time == b.expected_time &&
-         a.evaluations == b.evaluations;
+         a.expected_time == b.expected_time && a.efficiency == b.efficiency;
+}
+
+/// The stricter PR-3 contract between the structurally-identical tiers.
+bool exact_match(const mlck::core::OptimizationResult& a,
+                 const mlck::core::OptimizationResult& b) {
+  return same_winner(a, b) && a.evaluations == b.evaluations;
+}
+
+/// Coarse lattice size the accounting identity must tile: tau points x
+/// ladder^dims, summed over the level subsets the default search visits
+/// (full hierarchy plus each skipped suffix).
+std::size_t lattice_size(const mlck::systems::SystemConfig& sys,
+                         const mlck::core::OptimizerOptions& opts) {
+  const std::size_t rungs =
+      mlck::core::count_ladder(opts.max_count).size();
+  std::size_t lattice = 0;
+  for (int dims = 0; dims < sys.levels(); ++dims) {
+    std::size_t leaves = 1;
+    for (int d = 0; d < dims; ++d) leaves *= rungs;
+    lattice += static_cast<std::size_t>(opts.coarse_tau_points) * leaves;
+  }
+  return lattice;
+}
+
+std::size_t accounted(const mlck::core::OptimizationResult& r) {
+  return r.coarse_evaluations + r.pruned_feasibility + r.pruned_bound;
 }
 
 }  // namespace
@@ -83,18 +120,28 @@ int main(int argc, char** argv) {
     pool.attach_metrics(mlck::engine::pool_metrics(*registry));
   }
 
-  mlck::core::OptimizerOptions opts;
-  if (smoke) opts.coarse_tau_points = 24;  // CI-sized grid, same code paths
-  if (wiring != nullptr) opts.metrics = &wiring->optimizer;
+  mlck::core::OptimizerOptions base;
+  if (smoke) base.coarse_tau_points = 24;  // CI-sized grid, same code paths
+  if (wiring != nullptr) base.metrics = &wiring->optimizer;
 
-  mlck::util::Table table({"system", "evals", "cached s", "staged s",
-                           "cached evals/s", "staged evals/s", "speedup",
+  // PR-3 tier: the same staged cursor, but no lane batching and no
+  // bound pruning — structurally identical to the cached sweep.
+  mlck::core::OptimizerOptions staged_opts = base;
+  staged_opts.lane_batch = false;
+  staged_opts.prune = false;
+  // This PR's tier: 8-lane batched walk + admissible subtree pruning.
+  const mlck::core::OptimizerOptions& pruned_opts = base;
+
+  mlck::util::Table table({"system", "evals", "pruned evals", "cached s",
+                           "staged s", "pruned s", "staged x", "total x",
                            "identical"});
   Json::Array systems_json;
-  double worst_speedup = std::numeric_limits<double>::infinity();
+  double worst_staged = std::numeric_limits<double>::infinity();
+  double worst_total = std::numeric_limits<double>::infinity();
   bool all_identical = true;
+  bool all_accounted = true;
 
-  for (const char* name : {"B", "M", "D5", "D9"}) {
+  for (const char* name : {"B", "M", "D1", "D3", "D5", "D7", "D9"}) {
     mlck::bench::progress("bench optimizer: " + std::string(name));
     const auto sys = mlck::systems::table1_system(name);
     mlck::engine::EvaluationEngine engine(sys);
@@ -111,58 +158,93 @@ int main(int argc, char** argv) {
       };
     };
 
-    // One untimed run each: warms the context cache and code/data paths,
-    // and supplies the results for the exact-equality check.
+    // One untimed run per tier: warms the context cache and code/data
+    // paths, and supplies the results for the equality checks.
     const auto cached = mlck::core::optimize_intervals_with(
-        cached_factory, sys, opts, &pool);
-    const auto staged = engine.optimize(opts, &pool);
-    const bool bit_identical = identical(cached, staged);
-    if (!bit_identical) {
-      all_identical = false;
+        cached_factory, sys, base, &pool);
+    const auto staged = engine.optimize(staged_opts, &pool);
+    const auto pruned = engine.optimize(pruned_opts, &pool);
+
+    bool bit_identical = true;
+    if (!exact_match(cached, staged)) {
+      bit_identical = false;
       std::cerr << "FATAL: staged sweep diverges from per-plan path on "
                 << name << "\n";
     }
+    if (!same_winner(cached, pruned)) {
+      bit_identical = false;
+      std::cerr << "FATAL: pruned sweep selects a different winner on "
+                << name << "\n";
+    }
+    all_identical = all_identical && bit_identical;
+
+    const std::size_t lattice = lattice_size(sys, base);
+    const bool accounting_ok = accounted(cached) == lattice &&
+                               accounted(staged) == lattice &&
+                               accounted(pruned) == lattice;
+    if (!accounting_ok) {
+      all_accounted = false;
+      std::cerr << "FATAL: lattice accounting broken on " << name
+                << ": lattice " << lattice << " cached "
+                << accounted(cached) << " staged " << accounted(staged)
+                << " pruned " << accounted(pruned) << "\n";
+    }
 
     const double cached_s = time_best(repeats, [&] {
-      mlck::core::optimize_intervals_with(cached_factory, sys, opts, &pool);
+      mlck::core::optimize_intervals_with(cached_factory, sys, base, &pool);
     });
     const double staged_s =
-        time_best(repeats, [&] { engine.optimize(opts, &pool); });
+        time_best(repeats, [&] { engine.optimize(staged_opts, &pool); });
+    const double pruned_s =
+        time_best(repeats, [&] { engine.optimize(pruned_opts, &pool); });
 
     const auto evals = static_cast<double>(cached.evaluations);
-    const double speedup = cached_s / staged_s;
-    worst_speedup = std::min(worst_speedup, speedup);
+    const double staged_speedup = cached_s / staged_s;
+    const double total_speedup = cached_s / pruned_s;
+    worst_staged = std::min(worst_staged, staged_speedup);
+    worst_total = std::min(worst_total, total_speedup);
     table.add_row({name, std::to_string(cached.evaluations),
+                   std::to_string(pruned.evaluations),
                    mlck::util::Table::num(cached_s, 4),
                    mlck::util::Table::num(staged_s, 4),
-                   mlck::util::Table::num(evals / cached_s, 0),
-                   mlck::util::Table::num(evals / staged_s, 0),
-                   mlck::util::Table::num(speedup, 2) + "x",
-                   bit_identical ? "yes" : "NO"});
+                   mlck::util::Table::num(pruned_s, 4),
+                   mlck::util::Table::num(staged_speedup, 2) + "x",
+                   mlck::util::Table::num(total_speedup, 2) + "x",
+                   bit_identical && accounting_ok ? "yes" : "NO"});
 
     Json::Object row;
     row["system"] = name;
     row["levels"] = sys.levels();
     row["evaluations"] = evals;
+    row["pruned_evaluations"] = static_cast<double>(pruned.evaluations);
+    row["pruned_feasibility"] =
+        static_cast<double>(pruned.pruned_feasibility);
+    row["pruned_bound"] = static_cast<double>(pruned.pruned_bound);
+    row["lattice"] = static_cast<double>(lattice);
     row["cached_seconds"] = cached_s;
     row["staged_seconds"] = staged_s;
+    row["pruned_seconds"] = pruned_s;
     row["cached_evals_per_sec"] = evals / cached_s;
     row["staged_evals_per_sec"] = evals / staged_s;
-    row["speedup"] = speedup;
+    row["staged_speedup"] = staged_speedup;
+    row["total_speedup"] = total_speedup;
     row["bit_identical"] = bit_identical;
+    row["accounting_ok"] = accounting_ok;
     systems_json.emplace_back(std::move(row));
   }
 
   Json::Object doc;
-  doc["benchmark"] = "optimizer_staged_cursor_vs_cached_per_plan";
+  doc["benchmark"] = "optimizer_sweep_tiers_cached_staged_pruned";
   doc["optimizer"] = smoke ? "optimize_intervals, coarse_tau_points=24"
                            : "optimize_intervals default options";
   doc["repeats"] = repeats;
   doc["threads"] = threads;
   doc["smoke"] = smoke;
   doc["systems"] = std::move(systems_json);
-  doc["min_speedup"] = worst_speedup;
+  doc["min_staged_speedup"] = worst_staged;
+  doc["min_speedup"] = worst_total;
   doc["bit_identical"] = all_identical;
+  doc["accounting_ok"] = all_accounted;
   mlck::core::write_file(out, Json(std::move(doc)).dump(2) + "\n");
 
   if (registry != nullptr && !metrics_path.empty()) {
@@ -171,11 +253,11 @@ int main(int argc, char** argv) {
     std::cerr << "[mlck] wrote metrics sidecar " << metrics_path << "\n";
   }
 
-  std::cout << "Optimizer benchmark: prefix-incremental staged cursor vs "
-               "cached per-plan evaluation (identical search, exact-equal "
-               "results)\n";
+  std::cout << "Optimizer benchmark: cached per-plan vs staged cursor vs "
+               "lane-batched pruned sweep (identical winner, accounted "
+               "lattice)\n";
   table.print(std::cout);
   std::cout << "\nwrote " << out << "\n";
-  if (!all_identical) return 1;
-  return worst_speedup > 1.0 ? 0 : 3;
+  if (!all_identical || !all_accounted) return 1;
+  return worst_total > 1.0 ? 0 : 3;
 }

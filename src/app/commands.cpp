@@ -356,7 +356,7 @@ int cmd_sensitivity(const Cli& cli, std::ostream& out) {
   return 0;
 }
 
-int cmd_scenario(const Cli& cli, std::ostream& out) {
+int cmd_scenario(const Cli& cli, std::ostream& out, std::ostream& err) {
   // Emit mode: write a complete spec document for a system to start from.
   if (const auto emit = cli.value("emit-spec"); emit.has_value()) {
     engine::ScenarioSpec spec;
@@ -384,6 +384,18 @@ int cmd_scenario(const Cli& cli, std::ostream& out) {
         "--spec=scenario.json is required (or --emit-spec)");
   }
   engine::ScenarioSpec spec = engine::ScenarioSpec::load(*spec_path);
+  // Flag-vs-spec precedence: --law overrides the spec's "failure" section
+  // (the flag is the more specific, per-invocation intent). The override
+  // is announced on stderr so a spec whose failure law silently stops
+  // mattering is never a surprise.
+  if (const auto law_text = cli.value("law"); law_text && !law_text->empty()) {
+    const auto flag_law = engine::DistributionSpec::parse(*law_text);
+    err << "[mlck] --law=" << flag_law.to_string()
+        << " takes precedence over the scenario spec's failure "
+           "section (spec: "
+        << spec.distribution.to_string() << ")\n";
+    spec.distribution = flag_law;
+  }
   if (const auto trials = cli.value("trials"); trials) {
     spec.trials = static_cast<std::size_t>(cli.get_int("trials", 200));
   }
@@ -710,7 +722,7 @@ int run_command(const std::vector<std::string>& args, std::ostream& out,
     else if (command == "energy") code = cmd_energy(cli, out);
     else if (command == "sensitivity") code = cmd_sensitivity(cli, out);
     else if (command == "trace") code = cmd_trace(cli, out);
-    else if (command == "scenario") code = cmd_scenario(cli, out);
+    else if (command == "scenario") code = cmd_scenario(cli, out, err);
     else if (command == "selftest") code = cmd_selftest(cli, out);
     else {
       err << "unknown command: " << command << "\n" << usage();

@@ -127,6 +127,27 @@ class DauweKernel {
     /// DauweKernel::expected_time of the pushed plan.
     double finish_expected_time(double pattern) const noexcept;
 
+    /// Read-only views of the prefix stack for stage @p k (0 <= k <=
+    /// deepest entered stage): the entering interval tau_k, gamma_k, and
+    /// gamma_k * E(tau_k). The optimizer's admissible subtree bound is
+    /// built from these (docs/PERFORMANCE.md); they are exactly the
+    /// values the recursion itself uses, so a bound assembled from them
+    /// inherits the cursor's arithmetic. When dead_at(k) the tau is
+    /// non-finite and the gamma pair is stale — callers must treat the
+    /// subtree as +inf rather than consume the values.
+    double stage_tau(int k) const noexcept {
+      return tau_[static_cast<std::size_t>(k)];
+    }
+    double stage_gamma(int k) const noexcept {
+      return gamma_[static_cast<std::size_t>(k)];
+    }
+    double stage_gamma_e(int k) const noexcept {
+      return gamma_e_[static_cast<std::size_t>(k)];
+    }
+    /// True when some stage <= @p k overflowed: every leaf under the
+    /// current prefix evaluates to +inf.
+    bool dead_at(int k) const noexcept { return dead_from_ <= k; }
+
    private:
     /// Enters stage @p k with interval @p tau: records tau_k and the
     /// stage's gamma/E pair, or marks the prefix dead on overflow.

@@ -21,9 +21,14 @@ struct OptimizerMetrics {
   /// Leaf plans eliminated by the feasibility bound tau0 * prod(N+1) <= T_B
   /// before being evaluated: a cut at enumeration depth d skips
   /// ladder^(remaining dims) candidate plans per skipped rung, so
-  /// plans_swept + plans_pruned always equals the full coarse lattice
-  /// (tau points x ladder^dims, summed over level subsets).
+  /// plans_swept + plans_pruned + plans_pruned_bound always equals the full
+  /// coarse lattice (tau points x ladder^dims, summed over level subsets).
   obs::Counter* plans_pruned = nullptr;
+  /// Leaf plans eliminated because an admissible lower bound on their
+  /// subtree exceeded the best expected time already found for the same
+  /// level subset (staged sweep with OptimizerOptions::prune only; the
+  /// other term of the lattice accounting identity above).
+  obs::Counter* plans_pruned_bound = nullptr;
   obs::Counter* plans_refined = nullptr;  ///< refinement cost evaluations
   obs::Counter* subsets_searched = nullptr;  ///< level subsets swept
 };
@@ -53,15 +58,41 @@ struct OptimizerOptions {
   /// {L-1} for traditional checkpoint/restart). Overrides suffix skipping.
   std::vector<int> restrict_levels;
 
+  /// Batch the staged coarse sweep: eight tau0 grid points advance through
+  /// one shared count-lattice walk as lanes of scalar kernel cursors
+  /// (math/simd.h backends serve only the bound/mask arithmetic). Winner,
+  /// expected time, and the lattice accounting are identical to the
+  /// unbatched sweep; only wall-clock changes. Ignored by the per-plan
+  /// (non-staged) overloads, which cannot share stage state across plans.
+  bool lane_batch = true;
+
+  /// Skip count-lattice subtrees whose admissible first-order lower bound
+  /// (Benoit-style single-level relaxation; docs/PERFORMANCE.md) exceeds
+  /// the best expected time already found for the same level subset. The
+  /// selected plan and its expected time are unchanged — a subtree
+  /// containing a subset's optimum can never satisfy the cut — but
+  /// OptimizationResult::evaluations shrinks and, under a thread pool,
+  /// varies run to run with incumbent propagation timing. Requires
+  /// lane_batch and the staged path; ignored elsewhere.
+  bool prune = true;
+
   /// Observe-only counters for the search (docs/OBSERVABILITY.md).
   /// Non-owning; ignored by JSON (de)serialization and by comparisons.
   OptimizerMetrics* metrics = nullptr;
 
   /// Observe-only span sink for the search phases ("optimizer.coarse_sweep",
-  /// "optimizer.sweep_slice", "optimizer.refine"; docs/OBSERVABILITY.md).
-  /// Same contract as metrics: non-owning, null skips all instrumentation,
-  /// results are bit-identical either way.
+  /// "optimizer.sweep_slice" / "optimizer.sweep_block", "optimizer.refine";
+  /// docs/OBSERVABILITY.md). Same contract as metrics: non-owning, null
+  /// skips all instrumentation, results are bit-identical either way.
   obs::TraceSink* trace = nullptr;
+
+  /// Rejects option combinations the search cannot serve, naming the
+  /// offending fields: non-positive grid sizes/rounds, and a tau_min at or
+  /// above system.base_time * (1 - 1e-9) — the upper edge of the tau0
+  /// grid — which would silently yield a descending or duplicate-point
+  /// log grid. Called by every optimize_intervals* entry point; throws
+  /// std::invalid_argument.
+  void validate(const systems::SystemConfig& system) const;
 };
 
 /// Outcome of an interval search.
@@ -70,6 +101,14 @@ struct OptimizationResult {
   double expected_time = 0.0;
   double efficiency = 0.0;       ///< T_B / expected_time per the model
   std::size_t evaluations = 0;   ///< model evaluations performed
+  /// Coarse-pass leaf evaluations (evaluations minus refinement), and the
+  /// leaf plans eliminated without evaluation by the two cuts. Together
+  /// they tile the coarse lattice exactly:
+  ///   coarse_evaluations + pruned_feasibility + pruned_bound
+  ///     == tau points x ladder^dims, summed over level subsets.
+  std::size_t coarse_evaluations = 0;
+  std::size_t pruned_feasibility = 0;  ///< tau0 * prod(N+1) > T_B cuts
+  std::size_t pruned_bound = 0;        ///< admissible lower-bound cuts
 };
 
 /// Minimizes model.expected_time over the bounded plan space for
@@ -118,10 +157,15 @@ using SubsetKernelFactory =
 /// (DauweKernel::Cursor): entering enumeration depth k computes stage k's
 /// transcendental terms once per count prefix instead of once per leaf
 /// plan, so only the top stage and the scratch wrap run per candidate.
-/// Enumeration order, pruning, refinement, tie-breaking, and evaluation
-/// counts are identical to the per-plan overloads, and every leaf value
-/// is bit-identical to kernel.expected_time (the cursor *is* the per-plan
-/// path's arithmetic), so the selected plan matches exactly.
+/// Every leaf value is bit-identical to kernel.expected_time (the cursor
+/// *is* the per-plan path's arithmetic), so the selected plan and its
+/// expected time match the per-plan overloads exactly — under every
+/// lane_batch/prune setting. With lane_batch and prune disabled the sweep
+/// is additionally *structurally* identical: same enumeration order and
+/// the same evaluation counts as the per-plan overloads. With the default
+/// lane-batched pruned sweep only the winner contract holds; evaluation
+/// counts shrink (and vary run to run under a thread pool), while the
+/// lattice accounting identity on OptimizationResult stays exact.
 OptimizationResult optimize_intervals_staged(
     const SubsetKernelFactory& factory, const systems::SystemConfig& system,
     const OptimizerOptions& options = {}, util::ThreadPool* pool = nullptr);

@@ -1,0 +1,210 @@
+#pragma once
+
+// Fixed-width double lanes for the optimizer's batched sweep kernel:
+// eight tau0 grid points travel together through the count-lattice walk,
+// and the admissible-bound arithmetic over them runs on this wrapper.
+//
+// Three backends behind one interface: AVX2 (two 256-bit halves), NEON
+// (four 128-bit quarters), and a plain 8-wide scalar unroll that modern
+// compilers auto-vectorize where profitable. The backend only affects
+// *bound* and *mask* math — quantities with no bit-identity contract.
+// Model evaluation itself always runs through the scalar DauweKernel
+// arithmetic (see docs/PERFORMANCE.md, "why winner-bit-identity holds"),
+// so switching backends can change which subtrees are pruned by at most
+// an ulp-scale margin, never which plan wins.
+
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define MLCK_SIMD_AVX2 1
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define MLCK_SIMD_NEON 1
+#endif
+
+namespace mlck::math {
+
+/// Lane count of the batched sweep. Fixed at 8 independent of backend so
+/// accounting (slots, masks, block shapes) is identical everywhere.
+inline constexpr int kSimdLanes = 8;
+
+/// Lane mask: bit l set means lane l participates.
+using LaneMask = std::uint8_t;
+
+inline constexpr LaneMask kAllLanes = 0xFF;
+
+/// Eight doubles. Keep it a plain aggregate so scalar code can fill or
+/// read single lanes without ceremony; the operators below dispatch to
+/// the best available backend.
+struct alignas(64) Vec8d {
+  double lane[kSimdLanes];
+};
+
+inline Vec8d v8_splat(double x) noexcept {
+  Vec8d r;
+  for (double& l : r.lane) l = x;
+  return r;
+}
+
+inline Vec8d v8_load(const double* p) noexcept {
+  Vec8d r;
+  for (int l = 0; l < kSimdLanes; ++l) r.lane[l] = p[l];
+  return r;
+}
+
+#if defined(MLCK_SIMD_AVX2)
+
+inline Vec8d v8_add(const Vec8d& a, const Vec8d& b) noexcept {
+  Vec8d r;
+  _mm256_store_pd(r.lane,
+                  _mm256_add_pd(_mm256_load_pd(a.lane),
+                                _mm256_load_pd(b.lane)));
+  _mm256_store_pd(r.lane + 4,
+                  _mm256_add_pd(_mm256_load_pd(a.lane + 4),
+                                _mm256_load_pd(b.lane + 4)));
+  return r;
+}
+
+inline Vec8d v8_mul(const Vec8d& a, const Vec8d& b) noexcept {
+  Vec8d r;
+  _mm256_store_pd(r.lane,
+                  _mm256_mul_pd(_mm256_load_pd(a.lane),
+                                _mm256_load_pd(b.lane)));
+  _mm256_store_pd(r.lane + 4,
+                  _mm256_mul_pd(_mm256_load_pd(a.lane + 4),
+                                _mm256_load_pd(b.lane + 4)));
+  return r;
+}
+
+inline Vec8d v8_div(const Vec8d& a, const Vec8d& b) noexcept {
+  Vec8d r;
+  _mm256_store_pd(r.lane,
+                  _mm256_div_pd(_mm256_load_pd(a.lane),
+                                _mm256_load_pd(b.lane)));
+  _mm256_store_pd(r.lane + 4,
+                  _mm256_div_pd(_mm256_load_pd(a.lane + 4),
+                                _mm256_load_pd(b.lane + 4)));
+  return r;
+}
+
+/// a * b + c per lane (backends may fuse; bound math tolerates either
+/// rounding).
+inline Vec8d v8_fma(const Vec8d& a, const Vec8d& b, const Vec8d& c) noexcept {
+  Vec8d r;
+  _mm256_store_pd(r.lane,
+                  _mm256_fmadd_pd(_mm256_load_pd(a.lane),
+                                  _mm256_load_pd(b.lane),
+                                  _mm256_load_pd(c.lane)));
+  _mm256_store_pd(r.lane + 4,
+                  _mm256_fmadd_pd(_mm256_load_pd(a.lane + 4),
+                                  _mm256_load_pd(b.lane + 4),
+                                  _mm256_load_pd(c.lane + 4)));
+  return r;
+}
+
+/// Bit l set when a.lane[l] > b.lane[l]. Ordered, quiet: NaN lanes
+/// compare false, so garbage in masked-off lanes never sets a bit.
+inline LaneMask v8_gt(const Vec8d& a, const Vec8d& b) noexcept {
+  const int lo = _mm256_movemask_pd(_mm256_cmp_pd(
+      _mm256_load_pd(a.lane), _mm256_load_pd(b.lane), _CMP_GT_OQ));
+  const int hi = _mm256_movemask_pd(_mm256_cmp_pd(
+      _mm256_load_pd(a.lane + 4), _mm256_load_pd(b.lane + 4), _CMP_GT_OQ));
+  return static_cast<LaneMask>(lo | (hi << 4));
+}
+
+#elif defined(MLCK_SIMD_NEON)
+
+inline Vec8d v8_add(const Vec8d& a, const Vec8d& b) noexcept {
+  Vec8d r;
+  for (int q = 0; q < 8; q += 2) {
+    vst1q_f64(r.lane + q,
+              vaddq_f64(vld1q_f64(a.lane + q), vld1q_f64(b.lane + q)));
+  }
+  return r;
+}
+
+inline Vec8d v8_mul(const Vec8d& a, const Vec8d& b) noexcept {
+  Vec8d r;
+  for (int q = 0; q < 8; q += 2) {
+    vst1q_f64(r.lane + q,
+              vmulq_f64(vld1q_f64(a.lane + q), vld1q_f64(b.lane + q)));
+  }
+  return r;
+}
+
+inline Vec8d v8_div(const Vec8d& a, const Vec8d& b) noexcept {
+  Vec8d r;
+  for (int q = 0; q < 8; q += 2) {
+    vst1q_f64(r.lane + q,
+              vdivq_f64(vld1q_f64(a.lane + q), vld1q_f64(b.lane + q)));
+  }
+  return r;
+}
+
+inline Vec8d v8_fma(const Vec8d& a, const Vec8d& b, const Vec8d& c) noexcept {
+  Vec8d r;
+  for (int q = 0; q < 8; q += 2) {
+    vst1q_f64(r.lane + q,
+              vfmaq_f64(vld1q_f64(c.lane + q), vld1q_f64(a.lane + q),
+                        vld1q_f64(b.lane + q)));
+  }
+  return r;
+}
+
+inline LaneMask v8_gt(const Vec8d& a, const Vec8d& b) noexcept {
+  LaneMask m = 0;
+  for (int q = 0; q < 8; q += 2) {
+    const uint64x2_t gt =
+        vcgtq_f64(vld1q_f64(a.lane + q), vld1q_f64(b.lane + q));
+    if (vgetq_lane_u64(gt, 0)) m |= static_cast<LaneMask>(1u << q);
+    if (vgetq_lane_u64(gt, 1)) m |= static_cast<LaneMask>(1u << (q + 1));
+  }
+  return m;
+}
+
+#else  // 8-wide scalar unroll
+
+inline Vec8d v8_add(const Vec8d& a, const Vec8d& b) noexcept {
+  Vec8d r;
+  for (int l = 0; l < kSimdLanes; ++l) r.lane[l] = a.lane[l] + b.lane[l];
+  return r;
+}
+
+inline Vec8d v8_mul(const Vec8d& a, const Vec8d& b) noexcept {
+  Vec8d r;
+  for (int l = 0; l < kSimdLanes; ++l) r.lane[l] = a.lane[l] * b.lane[l];
+  return r;
+}
+
+inline Vec8d v8_div(const Vec8d& a, const Vec8d& b) noexcept {
+  Vec8d r;
+  for (int l = 0; l < kSimdLanes; ++l) r.lane[l] = a.lane[l] / b.lane[l];
+  return r;
+}
+
+inline Vec8d v8_fma(const Vec8d& a, const Vec8d& b, const Vec8d& c) noexcept {
+  Vec8d r;
+  for (int l = 0; l < kSimdLanes; ++l) {
+    r.lane[l] = a.lane[l] * b.lane[l] + c.lane[l];
+  }
+  return r;
+}
+
+inline LaneMask v8_gt(const Vec8d& a, const Vec8d& b) noexcept {
+  LaneMask m = 0;
+  for (int l = 0; l < kSimdLanes; ++l) {
+    // NaN compares false, matching the vector backends' quiet predicate.
+    if (a.lane[l] > b.lane[l]) m |= static_cast<LaneMask>(1u << l);
+  }
+  return m;
+}
+
+#endif
+
+/// Lanes of @p a exceeding the scalar @p threshold.
+inline LaneMask v8_gt(const Vec8d& a, double threshold) noexcept {
+  return v8_gt(a, v8_splat(threshold));
+}
+
+}  // namespace mlck::math

@@ -208,6 +208,33 @@ TEST(Commands, OptimizeWithMetricsKeepsPlanIdentical) {
   EXPECT_EQ(traced.out.substr(0, bare.out.size()), bare.out);
 }
 
+TEST(Commands, ScenarioLawFlagOverridesSpecFailureSection) {
+  // Precedence contract: --law beats the spec's "failure" section (the
+  // flag is the more specific, per-invocation intent), and the override
+  // is announced on stderr so the spec's law never silently stops
+  // mattering.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto spec = (dir / "mlck_cmd_scn_law_spec.json").string();
+  ASSERT_EQ(run({"scenario", "--system=B", "--emit-spec=" + spec}).code, 0);
+
+  const auto bare = run({"scenario", "--spec=" + spec, "--trials=10",
+                         "--seed=7"});
+  ASSERT_EQ(bare.code, 0) << bare.err;
+  EXPECT_EQ(bare.err.find("takes precedence"), std::string::npos);
+
+  const auto flagged = run({"scenario", "--spec=" + spec, "--trials=10",
+                            "--seed=7", "--law=weibull:shape=0.7"});
+  ASSERT_EQ(flagged.code, 0) << flagged.err;
+  EXPECT_NE(flagged.err.find("--law=weibull:shape=0.7"), std::string::npos)
+      << flagged.err;
+  EXPECT_NE(flagged.err.find("takes precedence"), std::string::npos)
+      << flagged.err;
+  // The report reflects the flag's law, not the spec's exponential.
+  EXPECT_NE(flagged.out.find("weibull"), std::string::npos) << flagged.out;
+  EXPECT_NE(bare.out, flagged.out);
+  std::filesystem::remove(spec);
+}
+
 TEST(Commands, ScenarioTraceWritesChromeFileAndKeepsResults) {
   const auto dir = std::filesystem::temp_directory_path();
   const auto spec = (dir / "mlck_cmd_scn_spec.json").string();

@@ -163,13 +163,27 @@ TEST(EngineGolden, OptimizeBitMatchesOptimizeIntervalsOnAllSystems) {
     const EvaluationEngine engine(sys);
     const auto opts = quick_search();
     const auto direct = core::optimize_intervals(model, sys, opts);
-    const auto cached = engine.optimize(opts);
-    EXPECT_EQ(direct.plan.tau0, cached.plan.tau0) << name;
-    EXPECT_EQ(direct.plan.counts, cached.plan.counts) << name;
-    EXPECT_EQ(direct.plan.levels, cached.plan.levels) << name;
-    EXPECT_EQ(direct.expected_time, cached.expected_time) << name;
-    EXPECT_EQ(direct.efficiency, cached.efficiency) << name;
-    EXPECT_EQ(direct.evaluations, cached.evaluations) << name;
+    // The engine default (lane-batched pruned sweep) keeps the winner
+    // bit-identical while evaluating fewer leaves.
+    const auto pruned = engine.optimize(opts);
+    EXPECT_EQ(direct.plan.tau0, pruned.plan.tau0) << name;
+    EXPECT_EQ(direct.plan.counts, pruned.plan.counts) << name;
+    EXPECT_EQ(direct.plan.levels, pruned.plan.levels) << name;
+    EXPECT_EQ(direct.expected_time, pruned.expected_time) << name;
+    EXPECT_EQ(direct.efficiency, pruned.efficiency) << name;
+    EXPECT_LE(pruned.evaluations, direct.evaluations) << name;
+    // With lanes and pruning off the staged path is structurally
+    // identical, down to the evaluation count.
+    auto exact_opts = opts;
+    exact_opts.lane_batch = false;
+    exact_opts.prune = false;
+    const auto exact = engine.optimize(exact_opts);
+    EXPECT_EQ(direct.plan.tau0, exact.plan.tau0) << name;
+    EXPECT_EQ(direct.plan.counts, exact.plan.counts) << name;
+    EXPECT_EQ(direct.plan.levels, exact.plan.levels) << name;
+    EXPECT_EQ(direct.expected_time, exact.expected_time) << name;
+    EXPECT_EQ(direct.efficiency, exact.efficiency) << name;
+    EXPECT_EQ(direct.evaluations, exact.evaluations) << name;
   }
 }
 
@@ -179,12 +193,21 @@ TEST(EngineGolden, OptimizeBitMatchesWithThreadPool) {
   const EvaluationEngine engine(sys);
   util::ThreadPool pool(3);
   const auto direct = core::optimize_intervals(model, sys, {}, &pool);
-  const auto cached = engine.optimize({}, &pool);
-  EXPECT_EQ(direct.plan.tau0, cached.plan.tau0);
-  EXPECT_EQ(direct.plan.counts, cached.plan.counts);
-  EXPECT_EQ(direct.plan.levels, cached.plan.levels);
-  EXPECT_EQ(direct.expected_time, cached.expected_time);
-  EXPECT_EQ(direct.evaluations, cached.evaluations);
+  const auto pruned = engine.optimize({}, &pool);
+  EXPECT_EQ(direct.plan.tau0, pruned.plan.tau0);
+  EXPECT_EQ(direct.plan.counts, pruned.plan.counts);
+  EXPECT_EQ(direct.plan.levels, pruned.plan.levels);
+  EXPECT_EQ(direct.expected_time, pruned.expected_time);
+  EXPECT_LE(pruned.evaluations, direct.evaluations);
+  core::OptimizerOptions exact_opts;
+  exact_opts.lane_batch = false;
+  exact_opts.prune = false;
+  const auto exact = engine.optimize(exact_opts, &pool);
+  EXPECT_EQ(direct.plan.tau0, exact.plan.tau0);
+  EXPECT_EQ(direct.plan.counts, exact.plan.counts);
+  EXPECT_EQ(direct.plan.levels, exact.plan.levels);
+  EXPECT_EQ(direct.expected_time, exact.expected_time);
+  EXPECT_EQ(direct.evaluations, exact.evaluations);
 }
 
 TEST(Engine, ContextsAreCachedAndReused) {

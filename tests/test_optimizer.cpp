@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/dauwe_model.h"
 #include "core/optimizer.h"
@@ -190,9 +191,10 @@ TEST(Optimizer, FactoryIsCalledOncePerLevelSubset) {
 }
 
 TEST(Optimizer, SweptPlusPrunedCoversTheFullCoarseLattice) {
-  // plans_pruned counts *leaf plans* eliminated by the feasibility bound,
-  // so together with plans_swept it must account for every point of the
-  // coarse lattice: tau points x ladder^dims, summed over level subsets.
+  // plans_pruned / plans_pruned_bound count *leaf plans* eliminated by
+  // the feasibility cut and the admissible subtree bound, so together
+  // with plans_swept they must account for every point of the coarse
+  // lattice: tau points x ladder^dims, summed over level subsets.
   const auto sys = systems::table1_system("B");  // 4 levels, suffix skipping
   OptimizerOptions opts;
   opts.coarse_tau_points = 24;  // smaller grid, same invariant
@@ -207,25 +209,158 @@ TEST(Optimizer, SweptPlusPrunedCoversTheFullCoarseLattice) {
 
   obs::Counter swept;
   obs::Counter pruned;
+  obs::Counter pruned_bound;
   OptimizerMetrics metrics;
   metrics.plans_swept = &swept;
   metrics.plans_pruned = &pruned;
+  metrics.plans_pruned_bound = &pruned_bound;
   opts.metrics = &metrics;
   const DauweModel model;
-  optimize_intervals(model, sys, opts);
+  const auto generic = optimize_intervals(model, sys, opts);
   EXPECT_GT(swept.value(), 0u);
   EXPECT_GT(pruned.value(), 0u);
+  // The per-plan path never bound-prunes (no kernel to bound with).
+  EXPECT_EQ(pruned_bound.value(), 0u);
   EXPECT_EQ(swept.value() + pruned.value(), lattice);
+  // The result mirrors the counters.
+  EXPECT_EQ(generic.coarse_evaluations, swept.value());
+  EXPECT_EQ(generic.pruned_feasibility, pruned.value());
+  EXPECT_EQ(generic.pruned_bound, 0u);
 
-  // The staged engine path accounts for the identical lattice.
+  // The structurally-identical staged path (lanes and pruning off)
+  // accounts for the identical lattice with identical counters.
+  OptimizerOptions exact = opts;
+  exact.lane_batch = false;
+  exact.prune = false;
   obs::Counter staged_swept;
   obs::Counter staged_pruned;
+  obs::Counter staged_pruned_bound;
   metrics.plans_swept = &staged_swept;
   metrics.plans_pruned = &staged_pruned;
+  metrics.plans_pruned_bound = &staged_pruned_bound;
+  exact.metrics = &metrics;
   const engine::EvaluationEngine eng(sys);
-  eng.optimize(opts);
+  eng.optimize(exact);
   EXPECT_EQ(staged_swept.value(), swept.value());
   EXPECT_EQ(staged_pruned.value(), pruned.value());
+  EXPECT_EQ(staged_pruned_bound.value(), 0u);
+
+  // The default lane-batched pruned sweep trades evaluations for bound
+  // cuts but still tiles the same lattice exactly — and returns the
+  // identical winner.
+  obs::Counter lane_swept;
+  obs::Counter lane_pruned;
+  obs::Counter lane_pruned_bound;
+  metrics.plans_swept = &lane_swept;
+  metrics.plans_pruned = &lane_pruned;
+  metrics.plans_pruned_bound = &lane_pruned_bound;
+  opts.metrics = &metrics;
+  const auto lanes = eng.optimize(opts);
+  EXPECT_GT(lane_pruned_bound.value(), 0u);
+  EXPECT_LT(lane_swept.value(), swept.value());
+  EXPECT_EQ(
+      lane_swept.value() + lane_pruned.value() + lane_pruned_bound.value(),
+      lattice);
+  EXPECT_EQ(lanes.coarse_evaluations + lanes.pruned_feasibility +
+                lanes.pruned_bound,
+            lattice);
+  EXPECT_EQ(lanes.plan.tau0, generic.plan.tau0);
+  EXPECT_EQ(lanes.plan.levels, generic.plan.levels);
+  EXPECT_EQ(lanes.plan.counts, generic.plan.counts);
+  EXPECT_EQ(lanes.expected_time, generic.expected_time);
+}
+
+TEST(Optimizer, ValidatesOptionsUpFrontNamingTheOffendingField) {
+  const auto sys = systems::table1_system("B");
+  const DauweModel model;
+
+  // tau_min at or above the grid's upper edge used to silently produce a
+  // descending / duplicate-point log grid; now it must throw and name
+  // both the field and the edge.
+  OptimizerOptions opts;
+  opts.tau_min = sys.base_time;
+  try {
+    optimize_intervals(model, sys, opts);
+    FAIL() << "expected std::invalid_argument for degenerate tau grid";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("tau_min"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("base_time"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(sys.name), std::string::npos) << msg;
+  }
+  // The boundary itself is rejected too (equal lo/hi grid edges).
+  opts.tau_min = sys.base_time * (1.0 - 1e-9);
+  EXPECT_THROW(optimize_intervals(model, sys, opts),
+               std::invalid_argument);
+
+  opts = OptimizerOptions{};
+  opts.coarse_tau_points = 0;
+  EXPECT_THROW(optimize_intervals(model, sys, opts),
+               std::invalid_argument);
+  opts = OptimizerOptions{};
+  opts.tau_min = 0.0;
+  EXPECT_THROW(optimize_intervals(model, sys, opts),
+               std::invalid_argument);
+  opts = OptimizerOptions{};
+  opts.max_count = -1;
+  EXPECT_THROW(optimize_intervals(model, sys, opts),
+               std::invalid_argument);
+  opts = OptimizerOptions{};
+  opts.refine_rounds = -1;
+  EXPECT_THROW(optimize_intervals(model, sys, opts),
+               std::invalid_argument);
+
+  // The staged engine entry point validates identically.
+  opts = OptimizerOptions{};
+  opts.tau_min = sys.base_time * 2.0;
+  const engine::EvaluationEngine eng(sys);
+  EXPECT_THROW(eng.optimize(opts), std::invalid_argument);
+}
+
+/// Adversarial model for the refinement feasibility guard: finite and
+/// strictly decreasing in every pattern count — even past the
+/// tau0 * prod(N_j + 1) <= T_B bound, where honest models return +inf.
+/// Nothing in the ExecutionTimeModel contract forbids this; only the
+/// search's own guard keeps such a model from stepping refinement onto
+/// an infeasible winner.
+struct CountGreedyModel final : ExecutionTimeModel {
+  double expected_time(const systems::SystemConfig& system,
+                       const CheckpointPlan& plan) const override {
+    double sum = 0.0;
+    for (const int n : plan.counts) sum += n;
+    // Monotone in the counts and independent of tau0: more checkpoints
+    // of any level always "help", so refinement wants to walk up the
+    // counts forever while tau0 stays pinned at the coarse winner
+    // (tau steps never *strictly* improve).
+    return system.base_time * (1.0 + 1.0 / (2.0 + sum));
+  }
+};
+
+TEST(Optimizer, RefinementNeverStepsOntoAnInfeasiblePlan) {
+  // Regression test for the unguarded refinement pass: the coarse sweep
+  // enforces tau0 * prod(N_j + 1) <= T_B, but the count-stepping (and
+  // tau-stepping) refinement loops did not, so with CountGreedyModel the
+  // +1/+2/+4 steps marched past the boundary and the returned winner was
+  // an infeasible plan (pattern period exceeding the base time). With
+  // the guard, every stepped candidate passes the same bound as the
+  // coarse sweep and the winner stays feasible.
+  const auto sys = systems::SystemConfig::from_table_row(
+      "guard", 2, 1000.0, {0.5, 0.5}, {0.5, 1.0}, 100.0);
+  const CountGreedyModel model;
+  OptimizerOptions opts;
+  // A coarse grid whose lowest tau0 leaves the feasibility boundary well
+  // below max_count: at tau0 = 2, only prod(N+1) <= 50 is feasible, so
+  // the unguarded count steps have plenty of infeasible headroom to
+  // "improve" into before hitting the max_count backstop.
+  opts.tau_min = 2.0;
+  opts.coarse_tau_points = 8;
+  opts.max_count = 128;
+  const auto result = optimize_intervals(model, sys, opts);
+  EXPECT_LE(result.plan.work_per_top_period(),
+            sys.base_time * (1.0 + 1e-12))
+      << "refinement returned an infeasible plan: "
+      << result.plan.to_string();
+  EXPECT_TRUE(std::isfinite(result.expected_time));
 }
 
 TEST(Optimizer, RefinementImprovesOnCoarsePass) {

@@ -148,6 +148,11 @@ TEST(StagedSweep, StagedOptimizeBitMatchesGenericOnRandomSystems) {
   opts.coarse_tau_points = 16;
   opts.max_count = 12;
   opts.refine_rounds = 4;
+  // Structural identity (same leaves in the same order, equal evaluation
+  // counts) holds for the plain staged cursor; the lane-batched pruned
+  // sweep is covered by WinnerSurvivesLaneBatchingAndPruning below.
+  opts.lane_batch = false;
+  opts.prune = false;
   for (int trial = 0; trial < 12; ++trial) {
     const auto sys = random_system(rng);
     const DauweOptions model_opt = random_options(rng);
@@ -171,6 +176,65 @@ TEST(StagedSweep, StagedOptimizeBitMatchesGenericOnRandomSystems) {
     EXPECT_EQ(generic.efficiency, staged.efficiency) << "trial " << trial;
     EXPECT_EQ(generic.evaluations, staged.evaluations) << "trial " << trial;
   }
+}
+
+TEST(StagedSweep, WinnerSurvivesLaneBatchingAndPruning) {
+  // The default staged path (8-lane batching + admissible subtree
+  // pruning) gives up sweep-order identity but NOT winner identity: the
+  // incumbent cut is strict, so every minimum-achieving leaf survives
+  // and the tie-broken winner is the same bit for bit. Evaluation counts
+  // shrink instead, and the difference must be exactly accounted by the
+  // two prune counters.
+  const std::uint64_t seed = testprop::suite_seed(kSeed ^ 0x4C414E45u);
+  SCOPED_TRACE(testprop::repro(
+      "StagedSweep.WinnerSurvivesLaneBatchingAndPruning", seed));
+  std::mt19937_64 rng(seed);
+  OptimizerOptions exact;
+  exact.coarse_tau_points = 16;
+  exact.max_count = 12;
+  exact.refine_rounds = 4;
+  exact.lane_batch = false;
+  exact.prune = false;
+  OptimizerOptions pruned = exact;
+  pruned.lane_batch = true;
+  pruned.prune = true;
+
+  const std::size_t rungs = count_ladder(exact.max_count).size();
+  std::size_t bound_cuts = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto sys = random_system(rng);
+    const DauweOptions model_opt = random_options(rng);
+
+    std::vector<std::unique_ptr<const DauweKernel>> kernels;
+    const auto factory =
+        [&](const std::vector<int>& levels) -> const DauweKernel& {
+      kernels.push_back(
+          std::make_unique<const DauweKernel>(sys, levels, model_opt));
+      return *kernels.back();
+    };
+
+    const auto a = optimize_intervals_staged(factory, sys, exact);
+    const auto b = optimize_intervals_staged(factory, sys, pruned);
+    EXPECT_EQ(a.plan.tau0, b.plan.tau0) << "trial " << trial;
+    EXPECT_EQ(a.plan.levels, b.plan.levels) << "trial " << trial;
+    EXPECT_EQ(a.plan.counts, b.plan.counts) << "trial " << trial;
+    EXPECT_EQ(a.expected_time, b.expected_time) << "trial " << trial;
+    EXPECT_EQ(a.efficiency, b.efficiency) << "trial " << trial;
+    EXPECT_LE(b.evaluations, a.evaluations) << "trial " << trial;
+
+    std::size_t lattice = 0;
+    for (int dims = 0; dims < sys.levels(); ++dims) {
+      std::size_t leaves = 1;
+      for (int d = 0; d < dims; ++d) leaves *= rungs;
+      lattice += static_cast<std::size_t>(exact.coarse_tau_points) * leaves;
+    }
+    EXPECT_EQ(b.coarse_evaluations + b.pruned_feasibility + b.pruned_bound,
+              lattice)
+        << "trial " << trial;
+    bound_cuts += b.pruned_bound;
+  }
+  // The bound must actually fire somewhere, or this test is vacuous.
+  EXPECT_GT(bound_cuts, 0u);
 }
 
 }  // namespace
