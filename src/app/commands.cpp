@@ -663,7 +663,7 @@ int cmd_selftest(const Cli& cli, std::ostream& out) {
   options.cases = static_cast<std::size_t>(cli.get_int("cases", 200));
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   options.only_case = cli.get_int("case", -1);
-  options.trials = static_cast<std::size_t>(cli.get_int("trials", 200));
+  options.trials = static_cast<std::size_t>(cli.get_int("trials", 600));
   options.welch_systems =
       static_cast<std::size_t>(cli.get_int("welch-systems", 8));
   options.alpha = cli.get_double("alpha", 0.01);

@@ -88,6 +88,12 @@ class WeibullLaw final : public FailureLaw {
     return std::make_unique<Weibull>(Weibull::with_mean(mean, shape_));
   }
 
+  std::unique_ptr<FailureDistribution> sampling_distribution(
+      double mean) const override {
+    // The unit-mean table scales to any mean; one uniform per draw.
+    return std::make_unique<TabulatedDistribution>(unit_, mean);
+  }
+
   std::string describe() const override {
     std::ostringstream os;
     os << "weibull(shape=" << shape_ << ")";
@@ -116,6 +122,13 @@ class LogNormalLaw final : public FailureLaw {
   std::unique_ptr<FailureDistribution> distribution(
       double mean) const override {
     return std::make_unique<LogNormal>(LogNormal::with_mean(mean, sigma_));
+  }
+
+  std::unique_ptr<FailureDistribution> sampling_distribution(
+      double mean) const override {
+    // Replaces the Box-Muller pair (log+sqrt+cos per draw, two uniforms)
+    // with one table lookup on one uniform.
+    return std::make_unique<TabulatedDistribution>(unit_, mean);
   }
 
   std::string describe() const override {

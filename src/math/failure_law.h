@@ -81,6 +81,21 @@ class FailureLaw {
   virtual std::unique_ptr<FailureDistribution> distribution(
       double mean) const = 0;
 
+  /// The *fast* sampling distribution with the given @p mean: draws
+  /// through the family's shared unit-mean inverse-CDF table (one uniform
+  /// per draw, O(1), no per-draw transcendentals) where the family has
+  /// one, falling back to distribution() where the closed form is already
+  /// a single cheap uniform (exponential). Sampled values agree with
+  /// distribution() in law to table accuracy but are NOT the same stream
+  /// of bits — LogNormal's Box-Muller sampler even consumes a different
+  /// number of uniforms — so validation paths that pin seeded results
+  /// keep using distribution(); throughput paths (bench_sim's tabulated
+  /// lanes) opt in here.
+  virtual std::unique_ptr<FailureDistribution> sampling_distribution(
+      double mean) const {
+    return distribution(mean);
+  }
+
   /// Family description without a time scale, e.g. "weibull(shape=0.7)".
   virtual std::string describe() const = 0;
 

@@ -1,53 +1,71 @@
 #include "sim/failure_source.h"
 
-#include <cassert>
+#include <cmath>
 #include <limits>
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 
 namespace mlck::sim {
 
-RandomFailureSource::RandomFailureSource(const systems::SystemConfig& system,
-                                         util::Rng rng)
-    : lambda_total_(system.lambda_total()), rng_(rng) {
-  severity_cdf_.reserve(system.severity_probability.size());
-  double acc = 0.0;
-  for (const double s : system.severity_probability) {
-    acc += s;
-    severity_cdf_.push_back(acc);
+std::vector<double> severity_cdf(const systems::SystemConfig& system) {
+  const auto& p = system.severity_probability;
+  if (p.empty()) {
+    throw std::invalid_argument(
+        "severity_probability: empty (need at least one severity class)");
   }
+  std::vector<double> cdf;
+  cdf.reserve(p.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!(p[i] >= 0.0)) {
+      std::ostringstream msg;
+      msg << "severity_probability[" << i << "]: " << p[i]
+          << " (must be non-negative and finite)";
+      throw std::invalid_argument(msg.str());
+    }
+    acc += p[i];
+    cdf.push_back(acc);
+  }
+  if (std::abs(acc - 1.0) > 1e-3) {
+    std::ostringstream msg;
+    msg << "severity_probability: sums to " << acc
+        << " (must be normalized to 1 within 1e-3)";
+    throw std::invalid_argument(msg.str());
+  }
+  // Pin the top bucket so the table is exactly a CDF even after
+  // floating-point shortfall in the running sum.
+  cdf.back() = 1.0;
+  return cdf;
 }
 
-FailureEvent RandomFailureSource::next() {
-  FailureEvent ev;
-  ev.interarrival = rng_.exponential(lambda_total_);
-  ev.severity = static_cast<int>(rng_.discrete_from_cdf(severity_cdf_));
-  return ev;
-}
+RandomFailureSource::RandomFailureSource(const systems::SystemConfig& system,
+                                         util::Rng rng)
+    : lambda_total_(system.lambda_total()),
+      severity_cdf_(severity_cdf(system)),
+      rng_(rng) {}
 
 RenewalFailureSource::RenewalFailureSource(
     const systems::SystemConfig& system,
     const math::FailureDistribution& interarrival, util::Rng rng)
-    : interarrival_(interarrival), rng_(rng) {
-  severity_cdf_.reserve(system.severity_probability.size());
-  double acc = 0.0;
-  for (const double s : system.severity_probability) {
-    acc += s;
-    severity_cdf_.push_back(acc);
-  }
-}
-
-FailureEvent RenewalFailureSource::next() {
-  FailureEvent ev;
-  ev.interarrival = interarrival_.sample(rng_);
-  ev.severity = static_cast<int>(rng_.discrete_from_cdf(severity_cdf_));
-  return ev;
-}
+    : interarrival_(interarrival),
+      severity_cdf_(severity_cdf(system)),
+      rng_(rng) {}
 
 ScriptedFailureSource::ScriptedFailureSource(
     std::vector<AbsoluteFailure> script)
     : script_(std::move(script)) {
-  for (std::size_t i = 1; i < script_.size(); ++i) {
-    assert(script_[i].time > script_[i - 1].time);
+  for (std::size_t i = 0; i < script_.size(); ++i) {
+    const double prev = (i == 0) ? 0.0 : script_[i - 1].time;
+    if (!(script_[i].time > prev) || !std::isfinite(script_[i].time)) {
+      std::ostringstream msg;
+      msg << "ScriptedFailureSource: script[" << i
+          << "].time = " << script_[i].time
+          << " must be finite and strictly greater than "
+          << (i == 0 ? "0" : "the previous failure time") << " (" << prev
+          << ")";
+      throw std::invalid_argument(msg.str());
+    }
   }
 }
 

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/compiled_schedule.h"
+#include "sim/simulator.h"
+#include "systems/system_config.h"
+
+namespace mlck::sim {
+
+/// The no-failure trajectory of one (system, compiled schedule, options)
+/// triple, precomputed once per Monte-Carlo batch so each trial can jump
+/// straight to the segment its first failure lands in.
+///
+/// Between trial start and the first failure the engine's path is fully
+/// deterministic: the same compute/checkpoint phases, the same sequential
+/// floating-point accumulations, for every trial. This class replays that
+/// op sequence ONCE — the identical additions in the identical order the
+/// Runner performs them — and records, after each completed segment
+/// (compute phase + its checkpoint), the exact machine state: wall-clock,
+/// committed work, cumulative compute time, the checkpoint_ok bucket.
+/// Because the recorded doubles are produced by the same instructions the
+/// sequential engine executes, restoring them is bitwise equivalent to
+/// having simulated every skipped segment, and batch results stay
+/// byte-identical to the reference engine.
+///
+/// A trial then costs O(log segments + work after first failure) instead
+/// of O(segments): trials whose first failure falls past the end of the
+/// run — the common case on the paper's failure-light systems — return
+/// the precomputed full result outright after their single interarrival
+/// draw.
+///
+/// The fast path cannot reproduce per-phase side effects, so the Runner
+/// only engages it when options.trace is null and the options the
+/// trajectory was built for match (applicable()). Callback-mode schedules
+/// (adaptive) and runs whose no-failure trajectory would hit the time cap
+/// are never valid; trials then run the plain loop, which is the same
+/// bits by definition.
+///
+/// Immutable after construction; shared read-only across worker threads.
+class NoFailureTrajectory {
+ public:
+  NoFailureTrajectory(const systems::SystemConfig& system,
+                      const CompiledSchedule& schedule,
+                      const SimOptions& options);
+
+  /// False when no fast path exists for this schedule/options pair
+  /// (callback mode, or the cap strikes before the no-failure run ends).
+  bool valid() const noexcept { return valid_; }
+
+  /// True when trials running under @p options may take the fast path.
+  bool applicable(const SimOptions& options) const noexcept {
+    return valid_ && options.trace == nullptr &&
+           options.take_final_checkpoint == take_final_checkpoint_ &&
+           options.max_time_factor == max_time_factor_;
+  }
+
+  /// Wall-clock at the completion of each full segment, ascending; entry
+  /// s covers the segment ending with trigger s's checkpoint. The binary
+  /// search target for "which segment does the first failure interrupt".
+  const std::vector<double>& segment_end() const noexcept {
+    return seg_end_;
+  }
+
+  /// Wall-clock at the very end of the no-failure run (after the tail
+  /// compute and, when configured, the final checkpoint). A first failure
+  /// at or past this time interrupts nothing.
+  double final_end() const noexcept { return final_end_; }
+
+  /// The complete no-failure trial, byte-for-byte what the plain loop
+  /// produces when no phase is ever interrupted.
+  const TrialResult& full_result() const noexcept { return full_result_; }
+
+  /// Exact machine state after segment @p s completed.
+  double end_now(std::size_t s) const noexcept { return seg_end_[s]; }
+  double end_work(std::size_t s) const noexcept { return seg_work_[s]; }
+  double end_compute_time(std::size_t s) const noexcept {
+    return seg_compute_[s];
+  }
+  double end_checkpoint_ok(std::size_t s) const noexcept {
+    return seg_ckpt_ok_[s];
+  }
+
+ private:
+  bool valid_ = false;
+  bool take_final_checkpoint_ = false;
+  double max_time_factor_ = 0.0;
+  double final_end_ = 0.0;
+  TrialResult full_result_;
+  std::vector<double> seg_end_;      ///< now_ after segment s
+  std::vector<double> seg_work_;     ///< work_ after segment s
+  std::vector<double> seg_compute_;  ///< compute_time_ after segment s
+  std::vector<double> seg_ckpt_ok_;  ///< breakdown.checkpoint_ok after s
+};
+
+}  // namespace mlck::sim

@@ -1,77 +1,48 @@
-#include "sim/simulator.h"
+#include "sim/reference_simulator.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <vector>
 
-#include "sim/compiled_schedule.h"
-#include "sim/fast_forward.h"
+#include "util/parallel.h"
+#include "util/rng.h"
 
-namespace mlck::sim {
+// This file intentionally duplicates the pre-rewrite engine rather than
+// sharing code with simulator.cpp/trial_runner.cpp: a baseline that
+// drifted with the production engine could not catch a regression in it.
+namespace mlck::sim::reference {
 
 namespace {
 
 enum class Cause { kCompute, kCheckpoint, kRestart };
 
-/// Single-trial state machine, generic over the concrete failure-source
-/// type. Time and work are both in minutes; work maps 1:1 onto
-/// computation time.
-///
-/// FS is a template parameter (not the FailureSource base) so that when
-/// the trial runner instantiates the engine with RandomFailureSource or
-/// RenewalFailureSource, the per-event draw — the innermost operation of
-/// every Monte-Carlo batch — inlines into the segment loop instead of
-/// going through a virtual call. The schedule side is devirtualized the
-/// same way: triggers come from a CompiledSchedule cursor (flat array
-/// lookup) rather than a per-segment std::function. Checkpoint slots for
-/// the common case (<= 8 used levels) live inline in the runner frame, so
-/// a trial allocates nothing.
-template <class FS>
+/// What the engine needs from a checkpoint schedule: the used system
+/// levels and the next trigger strictly after a given work position.
+struct ScheduleView {
+  std::vector<int> levels;
+  std::function<std::optional<core::CheckpointPoint>(double work)> next;
+};
+
+/// Single-trial state machine, generic over the schedule. Time and work
+/// are both in minutes; work maps 1:1 onto computation time.
 class Runner {
  public:
-  Runner(const systems::SystemConfig& system, const CompiledSchedule& schedule,
-         FS& failures, const SimOptions& options,
-         const NoFailureTrajectory* fast)
+  Runner(const systems::SystemConfig& system, const ScheduleView& schedule,
+         FailureSource& failures, const SimOptions& options)
       : sys_(system),
         schedule_(schedule),
-        levels_(schedule.levels().data()),
-        used_(schedule.levels().size()),
-        cursor_(schedule.cursor()),
         opts_(options),
         failures_(failures),
-        fast_(fast != nullptr && fast->applicable(options) ? fast : nullptr),
-        cap_(options.max_time_factor * system.base_time) {
-    if (used_ <= kInlineSlots) {
-      ckpt_ = inline_slots_;
-    } else {
-      heap_slots_.resize(used_);
-      ckpt_ = heap_slots_.data();
-    }
-  }
+        cap_(options.max_time_factor * system.base_time),
+        ckpt_(schedule.levels.size()) {}
 
   TrialResult run() {
     advance_failure_clock();
     const double base = sys_.base_time;
-
-    if (fast_ != nullptr) {
-      // Jump over the uninterrupted prefix: the trajectory's recorded
-      // state is produced by the very op sequence the loop below would
-      // execute, so resuming from it is bitwise equivalent to having run
-      // every skipped segment (see sim/fast_forward.h).
-      if (next_failure_ >= fast_->final_end()) {
-        // No phase end exceeds the first failure time, so no phase fails
-        // and the trial is the precomputed no-failure run outright.
-        return fast_->full_result();
-      }
-      const auto& ends = fast_->segment_end();
-      const std::size_t s = static_cast<std::size_t>(
-          std::upper_bound(ends.begin(), ends.end(), next_failure_) -
-          ends.begin());
-      if (s > 0) resume_after_segment(s - 1);
-    }
 
     while (!capped_) {
       if (now_ >= cap_) {
@@ -79,7 +50,7 @@ class Runner {
         break;
       }
       // Run computation to the next checkpoint trigger, or to completion.
-      const auto trigger = cursor_.next(work_);
+      const auto trigger = schedule_.next(work_);
       const double target = trigger ? std::min(trigger->work, base) : base;
       const Phase ph = run_phase(target - work_, TraceEvent::Kind::kCompute,
                                  /*level=*/-1);
@@ -137,56 +108,22 @@ class Runner {
     bool valid = false;
   };
 
-  static constexpr std::size_t kInlineSlots = 8;
-
-  int used_count() const noexcept { return static_cast<int>(used_); }
-
-  int system_level(int used_index) const noexcept {
-    return levels_[static_cast<std::size_t>(used_index)];
+  int used_count() const noexcept {
+    return static_cast<int>(schedule_.levels.size());
   }
 
-  /// Restores the exact engine state at the completion of full segment
-  /// @p s of the no-failure trajectory (trigger s's checkpoint just
-  /// committed). Slots are reconstructed from the trigger sequence: the
-  /// last checkpoint at used level h refreshed every slot <= h, so a
-  /// backward walk assigning only still-unset slots reproduces the array.
-  void resume_after_segment(std::size_t s) {
-    now_ = fast_->end_now(s);
-    work_ = fast_->end_work(s);
-    compute_time_ = fast_->end_compute_time(s);
-    result_.breakdown.checkpoint_ok = fast_->end_checkpoint_ok(s);
-    result_.checkpoints_completed = static_cast<long long>(s) + 1;
-    const auto& trig = schedule_.triggers();
-    std::size_t remaining = used_;
-    for (std::size_t j = s + 1; j-- > 0 && remaining > 0;) {
-      const int h = trig[j].used_index;
-      const double w = fast_->end_work(j);
-      for (int k = 0; k <= h; ++k) {
-        CheckpointSlot& slot = ckpt_[static_cast<std::size_t>(k)];
-        if (!slot.valid) {
-          slot = CheckpointSlot{w, true};
-          --remaining;
-        }
-      }
-    }
+  int system_level(int used_index) const noexcept {
+    return schedule_.levels[static_cast<std::size_t>(used_index)];
   }
 
   void advance_failure_clock() {
-    FailureEvent ev;
-    if constexpr (requires(FS& f) { f.draw(); }) {
-      ev = failures_.draw();
-    } else {
-      ev = failures_.next();
-    }
+    const FailureEvent ev = failures_.next();
     next_failure_ += ev.interarrival;
     next_severity_ = ev.severity;
   }
 
   /// Runs an interruptible phase of the given duration, recording a trace
-  /// event when tracing is enabled. The phase is clamped at the time cap:
-  /// whatever would have ended past cap_ — the phase itself or the
-  /// failure that interrupts it — is truncated there instead, so now_
-  /// (and hence total_time) never exceeds the cap.
+  /// event when tracing is enabled. The phase is clamped at the time cap.
   Phase run_phase(double duration, TraceEvent::Kind kind, int level) {
     Phase ph;
     const double start = now_;
@@ -258,15 +195,15 @@ class Runner {
 
   /// Severity-s failures wipe checkpoint storage below level s.
   void invalidate_below(int severity) {
-    for (std::size_t k = 0; k < used_; ++k) {
-      if (levels_[k] < severity) ckpt_[k].valid = false;
+    for (std::size_t k = 0; k < ckpt_.size(); ++k) {
+      if (schedule_.levels[k] < severity) ckpt_[k].valid = false;
     }
   }
 
   /// Lowest used level >= severity holding a checkpoint.
   std::optional<int> find_restore(int severity) const {
-    for (std::size_t k = 0; k < used_; ++k) {
-      if (levels_[k] >= severity && ckpt_[k].valid) {
+    for (std::size_t k = 0; k < ckpt_.size(); ++k) {
+      if (schedule_.levels[k] >= severity && ckpt_[k].valid) {
         return static_cast<int>(k);
       }
     }
@@ -276,7 +213,8 @@ class Runner {
   /// Lowest used level strictly above used-index e holding a checkpoint
   /// (Moody escalation target).
   std::optional<int> find_restore_above(int e) const {
-    for (std::size_t k = static_cast<std::size_t>(e) + 1; k < used_; ++k) {
+    for (std::size_t k = static_cast<std::size_t>(e) + 1; k < ckpt_.size();
+         ++k) {
       if (ckpt_[k].valid) return static_cast<int>(k);
     }
     return std::nullopt;
@@ -327,7 +265,7 @@ class Runner {
         // and no checkpoint storage holds data (or we would restore it).
         ++result_.scratch_restarts;
         work_ = 0.0;
-        for (std::size_t k = 0; k < used_; ++k) ckpt_[k].valid = false;
+        for (auto& slot : ckpt_) slot.valid = false;
         if (opts_.trace != nullptr) {
           opts_.trace->push_back(TraceEvent{
               TraceEvent::Kind::kScratchRestart, now_, now_, -1, true, -1});
@@ -391,13 +329,9 @@ class Runner {
   }
 
   const systems::SystemConfig& sys_;
-  const CompiledSchedule& schedule_;
-  const int* levels_;  ///< used system levels (borrowed from the schedule)
-  std::size_t used_;
-  CompiledSchedule::Cursor cursor_;
+  const ScheduleView& schedule_;
   const SimOptions& opts_;
-  FS& failures_;
-  const NoFailureTrajectory* fast_;  ///< null = plain loop from work 0
+  FailureSource& failures_;
 
   double now_ = 0.0;
   double next_failure_ = 0.0;
@@ -411,19 +345,101 @@ class Runner {
   /// opts_.trace is non-null; see annotate_trace_work).
   std::size_t last_trace_index_ = 0;
 
-  CheckpointSlot inline_slots_[kInlineSlots];
-  std::vector<CheckpointSlot> heap_slots_;  ///< only when > kInlineSlots
-  CheckpointSlot* ckpt_;                    ///< per used level
+  std::vector<CheckpointSlot> ckpt_;  ///< per used level
   TrialResult result_;
 };
 
-template <class FS>
-TrialResult run_one(const systems::SystemConfig& system,
-                    const CompiledSchedule& schedule, FS& failures,
-                    const SimOptions& options,
-                    const NoFailureTrajectory* fast = nullptr) {
-  Runner<FS> runner(system, schedule, failures, options, fast);
-  return runner.run();
+/// Pre-rewrite Monte-Carlo skeleton: per-trial options copy, per-index
+/// parallel_for, serial deterministic aggregation.
+TrialStats aggregate_trials(
+    std::size_t trials, util::ThreadPool* pool, const SimOptions& options,
+    const std::function<TrialResult(std::size_t, const SimOptions&)>&
+        run_one) {
+  const SimMetrics* metrics = options.metrics;
+  TrialTraceCapture* capture = options.capture;
+  if (capture != nullptr) {
+    capture->trials.assign(std::min(capture->max_trials, trials),
+                           TrialTrace{});
+    for (std::size_t k = 0; k < capture->trials.size(); ++k) {
+      capture->trials[k].trial = k;
+    }
+  }
+  std::vector<TrialResult> results(trials);
+  util::parallel_for(pool, trials, [&](std::size_t k) {
+    if (capture == nullptr) {
+      results[k] = run_one(k, options);
+      return;
+    }
+    SimOptions opts = options;
+    opts.capture = nullptr;
+    opts.trace =
+        k < capture->trials.size() ? &capture->trials[k].events : nullptr;
+    results[k] = run_one(k, opts);
+  });
+  if (capture != nullptr) {
+    for (std::size_t k = 0; k < capture->trials.size(); ++k) {
+      capture->trials[k].result = results[k];
+    }
+  }
+
+  TrialStats stats;
+  stats.trials = trials;
+  stats::Welford eff;
+  stats::Welford time;
+  SimBreakdown sum;
+  std::vector<double> efficiencies;
+  efficiencies.reserve(trials);
+  double failures_total = 0.0;
+  long long checkpoints_total = 0;
+  long long restarts_ok_total = 0;
+  long long restarts_failed_total = 0;
+  long long scratch_total = 0;
+  for (const TrialResult& r : results) {
+    eff.add(r.efficiency());
+    efficiencies.push_back(r.efficiency());
+    time.add(r.total_time);
+    sum += r.breakdown;
+    failures_total += static_cast<double>(r.failures);
+    checkpoints_total += r.checkpoints_completed;
+    restarts_ok_total += r.restarts_completed;
+    restarts_failed_total += r.restarts_failed;
+    scratch_total += r.scratch_restarts;
+    if (r.capped) ++stats.capped_trials;
+    if (metrics != nullptr && metrics->trial_time_minutes != nullptr) {
+      metrics->trial_time_minutes->record(r.total_time);
+    }
+  }
+  if (metrics != nullptr) {
+    const auto bump = [](obs::Counter* c, auto n) {
+      if (c != nullptr && n > 0) c->add(static_cast<std::uint64_t>(n));
+    };
+    bump(metrics->trials, trials);
+    bump(metrics->failures, static_cast<long long>(failures_total));
+    bump(metrics->checkpoints_completed, checkpoints_total);
+    bump(metrics->restarts_completed, restarts_ok_total);
+    bump(metrics->restarts_failed, restarts_failed_total);
+    bump(metrics->scratch_restarts, scratch_total);
+    bump(metrics->capped_trials, stats.capped_trials);
+  }
+  stats.efficiency = stats::summarize(eff);
+  stats.efficiency_quantiles = stats::summary_quantiles(efficiencies);
+  stats.total_time = stats::summarize(time);
+  if (trials > 0) {
+    stats.mean_failures = failures_total / static_cast<double>(trials);
+    const double total = sum.total();
+    if (total > 0.0) {
+      stats.time_shares = sum;
+      stats.time_shares.useful /= total;
+      stats.time_shares.checkpoint_ok /= total;
+      stats.time_shares.checkpoint_failed /= total;
+      stats.time_shares.restart_ok /= total;
+      stats.time_shares.restart_failed /= total;
+      stats.time_shares.rework_compute /= total;
+      stats.time_shares.rework_checkpoint /= total;
+      stats.time_shares.rework_restart /= total;
+    }
+  }
+  return stats;
 }
 
 }  // namespace
@@ -431,45 +447,75 @@ TrialResult run_one(const systems::SystemConfig& system,
 TrialResult simulate(const systems::SystemConfig& system,
                      const core::CheckpointPlan& plan, FailureSource& failures,
                      const SimOptions& options) {
-  const CompiledSchedule schedule = CompiledSchedule::from_plan(system, plan);
-  return run_one(system, schedule, failures, options);
+  plan.validate(system);
+  ScheduleView view;
+  view.levels = plan.levels;
+  view.next = [&plan,
+               &system](double work) -> std::optional<core::CheckpointPoint> {
+    // Checkpoints sit at integer multiples of tau0; the pattern decides
+    // the level. No checkpoint at or beyond completion.
+    const double j =
+        std::floor((work + core::IntervalSchedule::kWorkEpsilon) / plan.tau0) +
+        1.0;
+    const double point = j * plan.tau0;
+    if (point >= system.base_time - core::IntervalSchedule::kWorkEpsilon) {
+      return std::nullopt;
+    }
+    return core::CheckpointPoint{
+        point, plan.checkpoint_after_interval(static_cast<long long>(j))};
+  };
+  Runner runner(system, view, failures, options);
+  return runner.run();
 }
 
 TrialResult simulate(const systems::SystemConfig& system,
                      const core::IntervalSchedule& schedule,
                      FailureSource& failures, const SimOptions& options) {
-  const CompiledSchedule compiled =
-      CompiledSchedule::from_schedule(system, schedule);
-  return run_one(system, compiled, failures, options);
+  schedule.validate(system);
+  ScheduleView view;
+  view.levels = schedule.levels;
+  view.next = [&schedule, &system](double work) {
+    return schedule.next_checkpoint(work, system.base_time);
+  };
+  Runner runner(system, view, failures, options);
+  return runner.run();
 }
 
 TrialResult simulate(const systems::SystemConfig& system,
                      const core::AdaptiveSchedule& schedule,
                      FailureSource& failures, const SimOptions& options) {
-  const CompiledSchedule compiled =
-      CompiledSchedule::from_adaptive(system, schedule);
-  return run_one(system, compiled, failures, options);
+  schedule.base.validate(system);
+  ScheduleView view;
+  view.levels = schedule.base.levels;
+  view.next = [&schedule](double work) {
+    return schedule.next_checkpoint(work);
+  };
+  Runner runner(system, view, failures, options);
+  return runner.run();
 }
 
-TrialResult simulate(const systems::SystemConfig& system,
-                     const CompiledSchedule& schedule,
-                     RandomFailureSource& failures, const SimOptions& options,
-                     const NoFailureTrajectory* fast) {
-  return run_one(system, schedule, failures, options, fast);
+TrialStats run_trials(const systems::SystemConfig& system,
+                      const core::CheckpointPlan& plan, std::size_t trials,
+                      std::uint64_t seed, const SimOptions& options,
+                      util::ThreadPool* pool) {
+  return aggregate_trials(
+      trials, pool, options, [&](std::size_t k, const SimOptions& opts) {
+        RandomFailureSource failures(
+            system, util::Rng(util::derive_stream_seed(seed, k)));
+        return reference::simulate(system, plan, failures, opts);
+      });
 }
 
-TrialResult simulate(const systems::SystemConfig& system,
-                     const CompiledSchedule& schedule,
-                     RenewalFailureSource& failures, const SimOptions& options,
-                     const NoFailureTrajectory* fast) {
-  return run_one(system, schedule, failures, options, fast);
+TrialStats run_trials_with_distribution(
+    const systems::SystemConfig& system, const core::CheckpointPlan& plan,
+    const math::FailureDistribution& interarrival, std::size_t trials,
+    std::uint64_t seed, const SimOptions& options, util::ThreadPool* pool) {
+  return aggregate_trials(
+      trials, pool, options, [&](std::size_t k, const SimOptions& opts) {
+        RenewalFailureSource failures(
+            system, interarrival, util::Rng(util::derive_stream_seed(seed, k)));
+        return reference::simulate(system, plan, failures, opts);
+      });
 }
 
-TrialResult simulate(const systems::SystemConfig& system,
-                     const CompiledSchedule& schedule, FailureSource& failures,
-                     const SimOptions& options,
-                     const NoFailureTrajectory* fast) {
-  return run_one(system, schedule, failures, options, fast);
-}
-
-}  // namespace mlck::sim
+}  // namespace mlck::sim::reference

@@ -8,6 +8,7 @@
 #include "core/plan.h"
 #include "obs/metrics.h"
 #include "sim/accounting.h"
+#include "sim/compiled_schedule.h"
 #include "sim/failure_source.h"
 #include "systems/system_config.h"
 
@@ -167,5 +168,41 @@ TrialResult simulate(const systems::SystemConfig& system,
 TrialResult simulate(const systems::SystemConfig& system,
                      const core::AdaptiveSchedule& schedule,
                      FailureSource& failures, const SimOptions& options = {});
+
+class NoFailureTrajectory;
+
+/// Batch fast paths: run one trial against a schedule compiled once (see
+/// CompiledSchedule) with the failure source devirtualized — the segment
+/// loop is instantiated directly against the concrete source type, so the
+/// per-event draw inlines. Results are bit-identical to the
+/// plan/interval/adaptive overloads above, which are now thin wrappers
+/// that compile the schedule per call; callers running many trials
+/// against one schedule (sim::run_trials, bench_sim) compile once and use
+/// these.
+///
+/// @p fast, when non-null and applicable (see sim/fast_forward.h), lets
+/// the trial jump over the uninterrupted prefix before its first failure
+/// using the batch's precomputed no-failure trajectory — same bits,
+/// O(failures) instead of O(segments) per trial. Null runs the plain
+/// loop.
+TrialResult simulate(const systems::SystemConfig& system,
+                     const CompiledSchedule& schedule,
+                     RandomFailureSource& failures,
+                     const SimOptions& options = {},
+                     const NoFailureTrajectory* fast = nullptr);
+
+/// Devirtualized renewal-process fast path (see above).
+TrialResult simulate(const systems::SystemConfig& system,
+                     const CompiledSchedule& schedule,
+                     RenewalFailureSource& failures,
+                     const SimOptions& options = {},
+                     const NoFailureTrajectory* fast = nullptr);
+
+/// Generic compiled-schedule path for custom FailureSource
+/// implementations (one virtual call per event, schedule still compiled).
+TrialResult simulate(const systems::SystemConfig& system,
+                     const CompiledSchedule& schedule, FailureSource& failures,
+                     const SimOptions& options = {},
+                     const NoFailureTrajectory* fast = nullptr);
 
 }  // namespace mlck::sim

@@ -1,9 +1,10 @@
 #include "sim/trial_runner.h"
 
 #include <algorithm>
-#include <functional>
 #include <vector>
 
+#include "sim/compiled_schedule.h"
+#include "sim/fast_forward.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -11,47 +12,28 @@ namespace mlck::sim {
 
 namespace {
 
-/// Shared Monte-Carlo skeleton: @p run_one executes trial k with its own
-/// derived RNG stream and an options copy prepared here; aggregation is
-/// serial and deterministic. Metrics (from SimOptions) are recorded after
-/// the parallel phase, so instrumentation never touches the trial state
-/// machines. When options.capture is set, the first
-/// min(capture->max_trials, trials) trials *by index* trace into their
-/// own preallocated slots — each trial writes only capture->trials[k], so
-/// the capture is identical regardless of pool size or scheduling (and
-/// the shared options.trace pointer, racy across concurrent trials, is
-/// suppressed for the batch).
-TrialStats aggregate_trials(
-    std::size_t trials, util::ThreadPool* pool, const SimOptions& options,
-    const std::function<TrialResult(std::size_t, const SimOptions&)>&
-        run_one) {
-  const SimMetrics* metrics = options.metrics;
-  TrialTraceCapture* capture = options.capture;
-  if (capture != nullptr) {
-    capture->trials.assign(std::min(capture->max_trials, trials),
-                           TrialTrace{});
-    for (std::size_t k = 0; k < capture->trials.size(); ++k) {
-      capture->trials[k].trial = k;
-    }
+/// Readies the capture slots for a batch of @p trials. resize + clear
+/// instead of assign so a capture object reused across batches (the trace
+/// CLI's pattern) keeps each slot's TraceEvent capacity — the arenas — and
+/// the per-trial streams append without reallocating.
+void prepare_capture(TrialTraceCapture& capture, std::size_t trials) {
+  capture.trials.resize(std::min(capture.max_trials, trials));
+  for (std::size_t k = 0; k < capture.trials.size(); ++k) {
+    capture.trials[k].trial = k;
+    capture.trials[k].result = TrialResult{};
+    capture.trials[k].events.clear();
   }
-  std::vector<TrialResult> results(trials);
-  util::parallel_for(pool, trials, [&](std::size_t k) {
-    if (capture == nullptr) {
-      results[k] = run_one(k, options);
-      return;
-    }
-    SimOptions opts = options;
-    opts.capture = nullptr;
-    opts.trace =
-        k < capture->trials.size() ? &capture->trials[k].events : nullptr;
-    results[k] = run_one(k, opts);
-  });
-  if (capture != nullptr) {
-    for (std::size_t k = 0; k < capture->trials.size(); ++k) {
-      capture->trials[k].result = results[k];
-    }
-  }
+}
 
+/// Serial, index-ordered reduction of per-trial results — deterministic
+/// and independent of pool size by construction (Welford accumulation
+/// order is the trial order, never the completion order). Metrics are
+/// recorded here, after the parallel phase, so instrumentation never
+/// touches the trial state machines.
+TrialStats aggregate_results(const std::vector<TrialResult>& results,
+                             const SimOptions& options) {
+  const SimMetrics* metrics = options.metrics;
+  const std::size_t trials = results.size();
   TrialStats stats;
   stats.trials = trials;
   stats::Welford eff;
@@ -112,54 +94,100 @@ TrialStats aggregate_trials(
   return stats;
 }
 
+/// Batch Monte-Carlo skeleton over a schedule compiled once. Per-chunk
+/// state — the failure source (severity CDF built once per chunk, rewound
+/// per trial via reset()) and the options copy — is hoisted out of the
+/// trial loop; per-trial results land in their own slots, so chunk
+/// boundaries cannot affect them. Trial k always draws from stream
+/// derive_stream_seed(seed, k), making the output byte-identical to the
+/// pre-batch engine (sim::reference) and independent of pool size.
+template <class Source, class MakeSource>
+TrialStats batch_trials(const systems::SystemConfig& system,
+                        const CompiledSchedule& schedule, std::size_t trials,
+                        std::uint64_t seed, const SimOptions& options,
+                        util::ThreadPool* pool,
+                        const MakeSource& make_source) {
+  TrialTraceCapture* capture = options.capture;
+  if (capture != nullptr) prepare_capture(*capture, trials);
+  const std::size_t captured =
+      capture != nullptr ? capture->trials.size() : 0;
+
+  // One no-failure trajectory for the whole batch (one dry pass over the
+  // segments, shared read-only by every chunk): trials jump past their
+  // uninterrupted prefix instead of re-simulating it. Captured/traced
+  // trials skip it per trial inside the runner.
+  const NoFailureTrajectory trajectory(system, schedule, options);
+  const NoFailureTrajectory* fast =
+      trajectory.valid() ? &trajectory : nullptr;
+
+  std::vector<TrialResult> results(trials);
+  util::parallel_for_chunks(pool, trials, [&](std::size_t begin,
+                                              std::size_t end) {
+    Source source =
+        make_source(util::Rng(util::derive_stream_seed(seed, begin)));
+    SimOptions opts = options;
+    opts.capture = nullptr;
+    for (std::size_t k = begin; k < end; ++k) {
+      source.reset(util::Rng(util::derive_stream_seed(seed, k)));
+      if (capture != nullptr) {
+        // Each captured trial traces into its own preallocated slot; the
+        // shared options.trace pointer, racy across concurrent trials, is
+        // suppressed for the batch.
+        opts.trace = k < captured ? &capture->trials[k].events : nullptr;
+      }
+      results[k] = simulate(system, schedule, source, opts, fast);
+    }
+  });
+  if (capture != nullptr) {
+    for (std::size_t k = 0; k < captured; ++k) {
+      capture->trials[k].result = results[k];
+    }
+  }
+  return aggregate_results(results, options);
+}
+
 }  // namespace
 
 TrialStats run_trials(const systems::SystemConfig& system,
                       const core::CheckpointPlan& plan, std::size_t trials,
                       std::uint64_t seed, const SimOptions& options,
                       util::ThreadPool* pool) {
-  return aggregate_trials(
-      trials, pool, options, [&](std::size_t k, const SimOptions& opts) {
-        RandomFailureSource failures(
-            system, util::Rng(util::derive_stream_seed(seed, k)));
-        return simulate(system, plan, failures, opts);
-      });
+  const CompiledSchedule schedule = CompiledSchedule::from_plan(system, plan);
+  return batch_trials<RandomFailureSource>(
+      system, schedule, trials, seed, options, pool,
+      [&](util::Rng rng) { return RandomFailureSource(system, rng); });
 }
 
 TrialStats run_trials(const systems::SystemConfig& system,
                       const core::IntervalSchedule& schedule,
                       std::size_t trials, std::uint64_t seed,
                       const SimOptions& options, util::ThreadPool* pool) {
-  return aggregate_trials(
-      trials, pool, options, [&](std::size_t k, const SimOptions& opts) {
-        RandomFailureSource failures(
-            system, util::Rng(util::derive_stream_seed(seed, k)));
-        return simulate(system, schedule, failures, opts);
-      });
+  const CompiledSchedule compiled =
+      CompiledSchedule::from_schedule(system, schedule);
+  return batch_trials<RandomFailureSource>(
+      system, compiled, trials, seed, options, pool,
+      [&](util::Rng rng) { return RandomFailureSource(system, rng); });
 }
 
 TrialStats run_trials(const systems::SystemConfig& system,
                       const core::AdaptiveSchedule& schedule,
                       std::size_t trials, std::uint64_t seed,
                       const SimOptions& options, util::ThreadPool* pool) {
-  return aggregate_trials(
-      trials, pool, options, [&](std::size_t k, const SimOptions& opts) {
-        RandomFailureSource failures(
-            system, util::Rng(util::derive_stream_seed(seed, k)));
-        return simulate(system, schedule, failures, opts);
-      });
+  const CompiledSchedule compiled =
+      CompiledSchedule::from_adaptive(system, schedule);
+  return batch_trials<RandomFailureSource>(
+      system, compiled, trials, seed, options, pool,
+      [&](util::Rng rng) { return RandomFailureSource(system, rng); });
 }
 
 TrialStats run_trials_with_distribution(
     const systems::SystemConfig& system, const core::CheckpointPlan& plan,
     const math::FailureDistribution& interarrival, std::size_t trials,
     std::uint64_t seed, const SimOptions& options, util::ThreadPool* pool) {
-  return aggregate_trials(
-      trials, pool, options, [&](std::size_t k, const SimOptions& opts) {
-        RenewalFailureSource failures(
-            system, interarrival,
-            util::Rng(util::derive_stream_seed(seed, k)));
-        return simulate(system, plan, failures, opts);
+  const CompiledSchedule schedule = CompiledSchedule::from_plan(system, plan);
+  return batch_trials<RenewalFailureSource>(
+      system, schedule, trials, seed, options, pool, [&](util::Rng rng) {
+        return RenewalFailureSource(system, interarrival, rng);
       });
 }
 

@@ -4,11 +4,12 @@
 
 namespace mlck::util {
 
-void parallel_for(ThreadPool* pool, std::size_t count,
-                  const std::function<void(std::size_t)>& body) {
+void parallel_for_chunks(
+    ThreadPool* pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
   if (pool == nullptr || pool->size() <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    body(0, count);
     return;
   }
   // Four chunks per worker balances load without per-index queue traffic.
@@ -16,11 +17,17 @@ void parallel_for(ThreadPool* pool, std::size_t count,
   const std::size_t chunk = std::max<std::size_t>(1, count / target_chunks);
   for (std::size_t begin = 0; begin < count; begin += chunk) {
     const std::size_t end = std::min(count, begin + chunk);
-    pool->submit([&body, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-    });
+    pool->submit([&body, begin, end] { body(begin, end); });
   }
   pool->wait_idle();
+}
+
+void parallel_for(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(pool, count,
+                      [&body](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
 }
 
 }  // namespace mlck::util

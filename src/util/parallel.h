@@ -22,4 +22,17 @@ namespace mlck::util {
 void parallel_for(ThreadPool* pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 
+/// Chunk-granular variant: body(begin, end) is invoked once per
+/// contiguous chunk of [0, count), so the body can hoist per-chunk state
+/// (scratch buffers, reusable failure sources, options copies) out of the
+/// per-index loop — the point of the simulator's batch engine. Chunks
+/// never overlap and cover [0, count) exactly; on the sequential path the
+/// whole range is one chunk. Chunk boundaries depend on the pool size, so
+/// per-index results must not depend on which chunk an index lands in
+/// (per-chunk state must be observationally equivalent to per-index
+/// state). Exceptions propagate as in parallel_for.
+void parallel_for_chunks(
+    ThreadPool* pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
 }  // namespace mlck::util

@@ -1,8 +1,5 @@
 #include "util/rng.h"
 
-#include <cassert>
-#include <cmath>
-
 namespace mlck::util {
 
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
@@ -22,52 +19,9 @@ std::uint64_t derive_stream_seed(std::uint64_t base_seed,
   return out;
 }
 
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
-}
-
-std::uint64_t Rng::next_u64() noexcept {
-  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() noexcept {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform_pos() noexcept {
-  // (u + 1) / 2^53 lies in (0, 1]; avoids log(0) downstream.
-  return (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
-}
-
-double Rng::exponential(double rate) noexcept {
-  assert(rate > 0.0);
-  return -std::log(uniform_pos()) / rate;
-}
-
-std::size_t Rng::discrete_from_cdf(std::span<const double> cdf) noexcept {
-  assert(!cdf.empty());
-  const double u = uniform();
-  for (std::size_t i = 0; i + 1 < cdf.size(); ++i) {
-    if (u <= cdf[i]) return i;
-  }
-  return cdf.size() - 1;
 }
 
 std::uint64_t Rng::below(std::uint64_t n) noexcept {

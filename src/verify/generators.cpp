@@ -22,7 +22,9 @@ VerifyLaw weibull_verify_law(double shape) {
   law.oracle.shape = shape;
   law.family = math::FailureLaw::weibull(shape);
   law.name = law.family->describe();
-  law.welch_rel_tolerance = 0.15;
+  // Tightened from 0.15 when the batch engine made 600-trial Welch runs
+  // the default; measured worst-case gaps per law in docs/MODELS.md.
+  law.welch_rel_tolerance = 0.10;
   return law;
 }
 
@@ -32,7 +34,9 @@ VerifyLaw lognormal_verify_law(double sigma) {
   law.oracle.sigma = sigma;
   law.family = math::FailureLaw::lognormal(sigma);
   law.name = law.family->describe();
-  law.welch_rel_tolerance = 0.15;
+  // Slightly wider than Weibull's: the thinning approximation bites
+  // harder on the log-normal's light left tail (docs/MODELS.md).
+  law.welch_rel_tolerance = 0.12;
   return law;
 }
 

@@ -27,9 +27,13 @@ struct SelftestOptions {
   std::size_t dominance_stride = 8;
 
   /// Model-vs-simulator statistical validation: number of systems, trials
-  /// per system, and the two-sided rejection level.
+  /// per system, and the two-sided rejection level. 600 trials per system
+  /// since the batch simulation engine (docs/PERFORMANCE.md, simulation
+  /// tier) made them cheaper than 200 were before it: the tighter
+  /// Monte-Carlo band is what lets the non-exponential equivalence
+  /// margins sit at 0.10 instead of 0.15 (docs/MODELS.md).
   std::size_t welch_systems = 8;
-  std::size_t trials = 200;
+  std::size_t trials = 600;
   double alpha = 0.01;
   /// When true, Welch rejections fail the run. Off by default: the model
   /// is a *mean-field approximation*, so on harsh systems a correct

@@ -112,6 +112,27 @@ TEST(Rng, DiscreteFromCdfDegenerate) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.discrete_from_cdf(point), 0u);
 }
 
+TEST(Rng, DiscreteFromCdfTopBucketReachableWhenCdfFallsShortOfOne) {
+  // u ~ 1 edge: the lookup never compares against the final entry, so a
+  // running sum that lands a hair below 1.0 (before sim::severity_cdf's
+  // pinning) must still resolve to the top bucket, never out of range.
+  Rng rng(8);
+  const std::vector<double> short_cdf{0.25, 0.5, 0.99999999999999989};
+  bool top_hit = false;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.discrete_from_cdf(short_cdf);
+    ASSERT_LT(v, short_cdf.size());
+    if (v == 2u) top_hit = true;
+  }
+  EXPECT_TRUE(top_hit);
+  // Pathological underflow: every entry ~0 still yields the last index
+  // for essentially every draw (the fall-through branch).
+  const std::vector<double> tiny{1e-300, 2e-300};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.discrete_from_cdf(tiny), 1u);
+  }
+}
+
 TEST(Rng, BelowStaysInRangeAndCoversValues) {
   Rng rng(7);
   std::array<int, 5> hits{};
