@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -12,7 +13,9 @@
 #include "engine/scenario.h"
 #include "exp/experiments.h"
 #include "exp/plot.h"
+#include "obs/exposition.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "util/cli.h"
 #include "util/thread_pool.h"
 
@@ -38,8 +41,12 @@ struct BenchConfig {
   std::string plot_prefix;  ///< --plot=prefix writes prefix.dat/.gp
   std::string metrics_path;  ///< --metrics=file writes the sidecar there
   std::string trace_path;    ///< --trace=file writes the Chrome trace there
+  std::string timeline_path;     ///< --timeline=file writes sampled series
+  std::string openmetrics_path;  ///< --openmetrics=file, exposition text
+  std::vector<std::string> argv;  ///< original invocation, for `meta`
   std::unique_ptr<obs::MetricsRegistry> registry;
   std::unique_ptr<obs::TraceSink> trace_sink;
+  std::unique_ptr<obs::TelemetrySampler> sampler;
   /// Keeps the metric pointers installed in spec.sim / spec.optimizer /
   /// the pool alive for the whole sweep.
   std::unique_ptr<engine::ScenarioMetrics> wiring_;
@@ -62,16 +69,22 @@ struct BenchConfig {
     plot_prefix = cli.get_string("plot", "");
     metrics_path = cli.get_string("metrics", "");
     trace_path = cli.get_string("trace", "");
+    timeline_path = cli.get_string("timeline", "");
+    openmetrics_path = cli.get_string("openmetrics", "");
+    argv = cli.raw_args();
+    const bool wants_registry = !metrics_path.empty() ||
+                                !timeline_path.empty() ||
+                                !openmetrics_path.empty();
     const int threads = cli.get_int("threads", 0);
     std::size_t workers = static_cast<std::size_t>(std::max(threads, 0));
-    if (workers == 0 && (!metrics_path.empty() || !trace_path.empty())) {
+    if (workers == 0 && (wants_registry || !trace_path.empty())) {
       // At least two workers for instrumented runs: a one-worker pool
       // degrades to the sequential parallel_for path and would leave the
       // pool.* metrics (and the per-worker span tracks) at zero.
       workers = std::max(2u, std::thread::hardware_concurrency());
     }
     pool = std::make_unique<util::ThreadPool>(workers);
-    if (!metrics_path.empty()) {
+    if (wants_registry) {
       registry = std::make_unique<obs::MetricsRegistry>();
       wiring_ = std::make_unique<engine::ScenarioMetrics>(*registry);
       spec.sim.metrics = &wiring_->sim;
@@ -83,6 +96,13 @@ struct BenchConfig {
       trace_sink->name_current_thread("main");
       spec.optimizer.trace = trace_sink.get();
       pool->attach_trace(trace_sink.get());
+    }
+    if (!timeline_path.empty()) {
+      obs::TelemetrySampler::Options sampling;
+      sampling.period = std::chrono::milliseconds(
+          std::max(1, cli.get_int("sample-period-ms", 50)));
+      sampler = std::make_unique<obs::TelemetrySampler>(*registry, sampling);
+      sampler->start();
     }
 
     options.trials = spec.trials;
@@ -96,10 +116,28 @@ struct BenchConfig {
 
   ~BenchConfig() {
     // Best-effort sidecars; never fail the sweep's exit path.
+    if (sampler != nullptr) {
+      sampler->stop();
+      try {
+        std::ofstream out(timeline_path);
+        out << obs::timeline_jsonl(*sampler, argv);
+        std::cerr << "[mlck] wrote timeline " << timeline_path << " ("
+                  << sampler->ticks() << " ticks)\n";
+      } catch (...) {
+      }
+    }
+    if (registry != nullptr && !openmetrics_path.empty()) {
+      try {
+        std::ofstream out(openmetrics_path);
+        out << obs::openmetrics_text(registry->snapshot());
+        std::cerr << "[mlck] wrote openmetrics " << openmetrics_path << "\n";
+      } catch (...) {
+      }
+    }
     if (registry != nullptr && !metrics_path.empty()) {
       try {
         std::ofstream out(metrics_path);
-        out << registry->to_json().dump(2) << "\n";
+        out << obs::sidecar_json(*registry, argv).dump(2) << "\n";
         std::cerr << "[mlck] wrote metrics sidecar " << metrics_path << "\n";
       } catch (...) {
       }

@@ -19,7 +19,10 @@
 #include "models/moody.h"
 #include "models/registry.h"
 #include "models/young.h"
+#include "obs/attribution.h"
+#include "obs/exposition.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/trial_runner.h"
 #include "systems/test_systems.h"
@@ -82,16 +85,66 @@ std::optional<engine::DistributionSpec> law_from(const Cli& cli,
 }
 
 /// Flushes a metrics registry the way every command does: to the sidecar
-/// file named by --metrics=<path>, or as tables after the report when the
-/// flag carries no path.
+/// file named by --metrics=<path> (with the standard `meta` provenance
+/// section), or as tables after the report when the flag carries no path.
 void flush_metrics(const obs::MetricsRegistry& registry,
-                   const std::string& path, std::ostream& out) {
+                   const std::string& path, const Cli& cli,
+                   std::ostream& out) {
   if (path.empty()) {
     out << "\nmetrics\n";
     registry.print(out);
   } else {
-    core::write_file(path, registry.to_json().dump(2) + "\n");
+    core::write_file(
+        path, obs::sidecar_json(registry, cli.raw_args()).dump(2) + "\n");
     out << "metrics written to " << path << "\n";
+  }
+}
+
+/// Sampler cadence from --sample-period-ms (default 50, floor 1).
+obs::TelemetrySampler::Options sampler_options_from(const Cli& cli) {
+  obs::TelemetrySampler::Options opts;
+  opts.period = std::chrono::milliseconds(
+      std::max(1, cli.get_int("sample-period-ms", 50)));
+  return opts;
+}
+
+/// True when the command should build a metrics registry even without
+/// --metrics: the OpenMetrics and timeline exports read one too.
+bool wants_registry(const Cli& cli) {
+  if (cli.has("metrics")) return true;
+  for (const char* flag : {"openmetrics", "timeline"}) {
+    if (const auto path = cli.value(flag); path.has_value()) {
+      if (path->empty()) {
+        throw std::out_of_range(std::string("--") + flag +
+                                " requires a file path (--" + flag +
+                                "=out." +
+                                (std::string(flag) == "timeline" ? "jsonl"
+                                                                 : "txt") +
+                                ")");
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Writes the --openmetrics and --timeline artifacts when requested.
+/// The sampler may be null (commands without a live timeline); the
+/// registry may not.
+void flush_exports(const obs::MetricsRegistry& registry,
+                   const obs::TelemetrySampler* sampler, const Cli& cli,
+                   std::ostream& out) {
+  if (const auto path = cli.value("openmetrics"); path && !path->empty()) {
+    core::write_file(*path, obs::openmetrics_text(registry.snapshot()));
+    out << "openmetrics written to " << *path << "\n";
+  }
+  if (const auto path = cli.value("timeline"); path && !path->empty()) {
+    if (sampler == nullptr) {
+      throw std::out_of_range("--timeline is not supported here");
+    }
+    core::write_file(*path, obs::timeline_jsonl(*sampler, cli.raw_args()));
+    out << "timeline written to " << *path << " (" << sampler->ticks()
+        << " ticks)\n";
   }
 }
 
@@ -115,10 +168,12 @@ int cmd_optimize(const Cli& cli, std::ostream& out) {
   const std::string technique_name = cli.get_string("technique", "dauwe");
   const auto law = law_from(cli, technique_name, "technique");
   const auto metrics_path = cli.value("metrics");
+  const bool instrumented = wants_registry(cli);
 
   std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::TelemetrySampler> sampler;
   core::TechniqueResult result;
-  if (law.has_value() && !metrics_path.has_value()) {
+  if (law.has_value() && !instrumented) {
     // Law-aware search through the cached engine (the technique registry
     // stays exponential-only).
     engine::EvaluationEngine eng(system, {}, law->family());
@@ -127,7 +182,7 @@ int cmd_optimize(const Cli& cli, std::ostream& out) {
     result.plan = best.plan;
     result.predicted_time = best.expected_time;
     result.predicted_efficiency = best.efficiency;
-  } else if (metrics_path.has_value()) {
+  } else if (instrumented) {
     // Instrumented search under the standard scenario metric names. The
     // pool mirrors cmd_scenario's observability rule: at least two
     // workers, so pool.* reflects the real parallel shape.
@@ -135,6 +190,11 @@ int cmd_optimize(const Cli& cli, std::ostream& out) {
     engine::ScenarioMetrics wiring(*registry);
     util::ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
     pool.attach_metrics(engine::pool_metrics(*registry));
+    if (cli.has("timeline")) {
+      sampler = std::make_unique<obs::TelemetrySampler>(
+          *registry, sampler_options_from(cli));
+      sampler->start();
+    }
     if (technique_name == "dauwe") {
       // Same staged search DauweTechnique runs, driven through the cached
       // engine so the engine.* counters are exercised; the selected plan
@@ -154,6 +214,7 @@ int cmd_optimize(const Cli& cli, std::ostream& out) {
       result = models::make_technique(technique_name)
                    ->select_plan(system, &pool);
     }
+    if (sampler) sampler->stop();
   } else {
     result = models::make_technique(technique_name)->select_plan(system);
   }
@@ -170,7 +231,10 @@ int cmd_optimize(const Cli& cli, std::ostream& out) {
     core::write_file(*path, core::to_json(result.plan).dump(2) + "\n");
     out << "plan written to " << *path << "\n";
   }
-  if (registry) flush_metrics(*registry, *metrics_path, out);
+  if (registry) {
+    if (metrics_path) flush_metrics(*registry, *metrics_path, cli, out);
+    flush_exports(*registry, sampler.get(), cli, out);
+  }
   return 0;
 }
 
@@ -219,7 +283,7 @@ int cmd_predict(const Cli& cli, std::ostream& out) {
                  Table::num(prediction.expected_time, 2)});
   table.add_row({"efficiency", Table::pct(prediction.efficiency)});
   table.print(out);
-  if (registry) flush_metrics(*registry, *metrics_path, out);
+  if (registry) flush_metrics(*registry, *metrics_path, cli, out);
   return 0;
 }
 
@@ -408,6 +472,7 @@ int cmd_scenario(const Cli& cli, std::ostream& out, std::ostream& err) {
     throw std::out_of_range("--trace requires a file path "
                             "(--trace=trace.json)");
   }
+  const bool instrumented = wants_registry(cli);
   std::unique_ptr<util::ThreadPool> pool;
   // An observability run gets a pool even without --threads, so the
   // pool.* metrics (and the per-worker trace tracks) reflect the real
@@ -415,7 +480,7 @@ int cmd_scenario(const Cli& cli, std::ostream& out, std::ostream& err) {
   // design). At least two workers: a one-worker pool degrades to the
   // sequential parallel_for path and would leave every pool.* metric at
   // zero.
-  const bool observing = metrics_path.has_value() || trace_path.has_value();
+  const bool observing = instrumented || trace_path.has_value();
   if (const int threads = cli.get_int("threads", 0);
       threads > 0 || observing) {
     std::size_t workers = static_cast<std::size_t>(threads > 0 ? threads : 0);
@@ -425,9 +490,15 @@ int cmd_scenario(const Cli& cli, std::ostream& out, std::ostream& err) {
     pool = std::make_unique<util::ThreadPool>(workers);
   }
   std::unique_ptr<obs::MetricsRegistry> registry;
-  if (metrics_path) {
+  std::unique_ptr<obs::TelemetrySampler> sampler;
+  if (instrumented) {
     registry = std::make_unique<obs::MetricsRegistry>();
     if (pool) pool->attach_metrics(engine::pool_metrics(*registry));
+    if (cli.has("timeline")) {
+      sampler = std::make_unique<obs::TelemetrySampler>(
+          *registry, sampler_options_from(cli));
+      sampler->start();
+    }
   }
   std::unique_ptr<obs::TraceSink> sink;
   sim::TrialTraceCapture capture;
@@ -442,6 +513,7 @@ int cmd_scenario(const Cli& cli, std::ostream& out, std::ostream& err) {
 
   const auto outcome = engine::run_scenario(spec, pool.get(),
                                             registry.get(), sink.get());
+  if (sampler) sampler->stop();
   const auto law = spec.distribution.make(spec.system);
   Table table({"field", "value"});
   table.add_row({"system", spec.system.name});
@@ -466,7 +538,10 @@ int cmd_scenario(const Cli& cli, std::ostream& out, std::ostream& err) {
                      core::to_json(outcome.selected.plan).dump(2) + "\n");
     out << "plan written to " << *path << "\n";
   }
-  if (registry) flush_metrics(*registry, *metrics_path, out);
+  if (registry) {
+    if (metrics_path) flush_metrics(*registry, *metrics_path, cli, out);
+    flush_exports(*registry, sampler.get(), cli, out);
+  }
   if (sink) {
     core::write_file(
         *trace_path,
@@ -527,6 +602,19 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
   const auto selected = technique.select_plan(system);
   sim::SimOptions opts = sim_options_from(cli);
 
+  // Instrumented runs wire the standard sim.* counters. They are
+  // recorded by the multi-trial runner's aggregation loop, so the
+  // single-trial path (--trials=1, which calls simulate() directly)
+  // reports them at zero.
+  const auto metrics_path = cli.value("metrics");
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<engine::ScenarioMetrics> wiring;
+  if (wants_registry(cli)) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    wiring = std::make_unique<engine::ScenarioMetrics>(*registry);
+    opts.metrics = &wiring->sim;
+  }
+
   sim::TrialTraceCapture capture;
   if (trials == 1) {
     // Single-trial path: the seed drives the failure stream directly
@@ -547,6 +635,13 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
     sim::run_trials(system, selected.plan, trials, seed, opts);
     opts.capture = nullptr;
   }
+
+  const auto flush_obs = [&] {
+    if (registry) {
+      if (metrics_path) flush_metrics(*registry, *metrics_path, cli, out);
+      flush_exports(*registry, nullptr, cli, out);
+    }
+  };
 
   int code = 0;
   if (cli.get_bool("audit", false)) {
@@ -579,6 +674,7 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
     } else {
       out << text;
     }
+    flush_obs();
     return code;
   }
 
@@ -611,7 +707,63 @@ int cmd_trace(const Cli& cli, std::ostream& out) {
   out << "total " << Table::num(result.total_time, 1) << " min, efficiency "
       << Table::pct(result.efficiency()) << ", " << trace.size()
       << " events\n";
+  flush_obs();
   return code;
+}
+
+int cmd_report(const Cli& cli, std::ostream& out) {
+  // Runs a scenario fully instrumented — metrics registry, trace sink,
+  // and telemetry sampler all attached — then joins span durations with
+  // the per-phase counters into the cost-attribution table. The run
+  // itself is bit-identical to `mlck scenario` on the same spec
+  // (instrumentation is observe-only).
+  const auto spec_path = cli.value("spec");
+  if (!spec_path || spec_path->empty()) {
+    throw std::out_of_range("--spec=scenario.json is required");
+  }
+  engine::ScenarioSpec spec = engine::ScenarioSpec::load(*spec_path);
+  if (const auto trials = cli.value("trials"); trials) {
+    spec.trials = static_cast<std::size_t>(cli.get_int("trials", 200));
+  }
+  if (const auto seed = cli.value("seed"); seed) {
+    spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  }
+
+  obs::MetricsRegistry registry;
+  obs::TraceSink sink;
+  sink.name_current_thread("main");
+  const int threads = cli.get_int("threads", 0);
+  util::ThreadPool pool(threads > 0
+                            ? static_cast<std::size_t>(threads)
+                            : std::max(2u, std::thread::hardware_concurrency()));
+  pool.attach_metrics(engine::pool_metrics(registry));
+  pool.attach_trace(&sink);
+  obs::TelemetrySampler sampler(registry, sampler_options_from(cli));
+  sampler.start();
+  const auto outcome = engine::run_scenario(spec, &pool, &registry, &sink);
+  sampler.stop();
+
+  const obs::RegistrySnapshot snapshot = registry.snapshot();
+  const auto phases = obs::attribute_costs(sink.events(), snapshot);
+  out << "cost attribution (" << sink.size() << " spans, "
+      << sampler.ticks() << " sampler ticks)\n";
+  obs::print_attribution(out, phases);
+  out << "plan " << outcome.selected.plan.to_string()
+      << ", sim efficiency " << Table::pct(outcome.stats.efficiency.mean)
+      << "\n";
+
+  if (const auto path = cli.value("json"); path && !path->empty()) {
+    util::Json doc = obs::attribution_json(phases);
+    doc.make_object()["meta"] =
+        obs::sidecar_meta(cli.raw_args(), snapshot.metric_count());
+    core::write_file(*path, doc.dump(2) + "\n");
+    out << "report written to " << *path << "\n";
+  }
+  if (const auto path = cli.value("metrics"); path) {
+    flush_metrics(registry, *path, cli, out);
+  }
+  flush_exports(registry, &sampler, cli, out);
+  return 0;
 }
 
 /// One `--laws=` pool entry as a VerifyLaw. Entries use the DistributionSpec
@@ -692,7 +844,7 @@ int cmd_selftest(const Cli& cli, std::ostream& out) {
 
 std::string usage() {
   return "usage: mlck <systems|show|optimize|predict|simulate|compare|energy|"
-         "sensitivity|trace|scenario|selftest>"
+         "sensitivity|trace|scenario|report|selftest>"
          " [--system=<name|file.json>] [options]\n"
          "run `mlck <command>` with a missing argument for its specific"
          " requirements; see src/app/commands.h for the full synopsis\n";
@@ -705,7 +857,10 @@ int run_command(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
   const std::string& command = args[0];
-  std::vector<const char*> argv{"mlck"};
+  // The command token rides along (as a positional argument the commands
+  // ignore) so Cli::raw_args() reproduces the full invocation for the
+  // artifact `meta` sections.
+  std::vector<const char*> argv{"mlck", command.c_str()};
   for (std::size_t i = 1; i < args.size(); ++i) {
     argv.push_back(args[i].c_str());
   }
@@ -723,6 +878,7 @@ int run_command(const std::vector<std::string>& args, std::ostream& out,
     else if (command == "sensitivity") code = cmd_sensitivity(cli, out);
     else if (command == "trace") code = cmd_trace(cli, out);
     else if (command == "scenario") code = cmd_scenario(cli, out, err);
+    else if (command == "report") code = cmd_report(cli, out);
     else if (command == "selftest") code = cmd_selftest(cli, out);
     else {
       err << "unknown command: " << command << "\n" << usage();

@@ -14,7 +14,8 @@ namespace mlck::app {
 ///   mlck systems
 ///   mlck show     --system=<name|file.json>
 ///   mlck optimize --system=... [--technique=dauwe] [--out=plan.json]
-///                 [--metrics[=metrics.json]]
+///                 [--metrics[=metrics.json]] [--openmetrics=metrics.txt]
+///                 [--timeline=timeline.jsonl] [--sample-period-ms=50]
 ///   mlck predict  --system=... --plan=plan.json [--model=dauwe]
 ///                 [--metrics[=metrics.json]]
 ///   mlck simulate --system=... (--plan=plan.json | --technique=dauwe |
@@ -25,11 +26,17 @@ namespace mlck::app {
 ///   mlck sensitivity --system=... [--technique=dauwe]
 ///   mlck trace    --system=... [--seed=4] [--max-events=40] [--trials=1]
 ///                 [--format=table|chrome|jsonl] [--audit] [--out=trace.json]
+///                 [--metrics[=metrics.json]] [--openmetrics=metrics.txt]
 ///   mlck scenario --spec=scenario.json [--trials=...] [--seed=...]
 ///                 [--threads=0] [--out=plan.json]
-///                 [--metrics[=metrics.json]]
+///                 [--metrics[=metrics.json]] [--openmetrics=metrics.txt]
+///                 [--timeline=timeline.jsonl] [--sample-period-ms=50]
 ///                 [--trace=trace.json] [--trace-trials=8]
 ///   mlck scenario --system=... --emit-spec[=scenario.json]
+///   mlck report   --spec=scenario.json [--trials=...] [--seed=...]
+///                 [--threads=0] [--json=report.json]
+///                 [--metrics[=metrics.json]] [--openmetrics=metrics.txt]
+///                 [--timeline=timeline.jsonl] [--sample-period-ms=50]
 ///   mlck selftest [--cases=200] [--seed=42] [--case=K]
 ///                 [--trials=200] [--welch-systems=8] [--alpha=0.01]
 ///                 [--welch-gate] [--threads=0] [--out=report.json]
@@ -59,6 +66,21 @@ namespace mlck::app {
 /// selection, optimizer sweep slices, context builds, pool tasks — one
 /// track per pool worker, plus the event streams of the first
 /// `--trace-trials` simulated trials, one track per trial.
+///
+/// `--openmetrics=file.txt` (on `scenario`, `optimize`, `trace`, and
+/// `report`) writes the final metric values in the OpenMetrics /
+/// Prometheus text exposition format. `--timeline=file.jsonl` (on
+/// `scenario`, `optimize`, and `report`) attaches a background
+/// obs::TelemetrySampler for the duration of the run and writes the
+/// sampled per-metric time series — cumulative values plus derived
+/// rates — as JSON Lines; `--sample-period-ms` sets its cadence. Both
+/// are observe-only like `--metrics`.
+///
+/// `report` runs a scenario spec fully instrumented and prints the
+/// per-phase cost attribution: wall time per span name (self vs nested
+/// child time) joined with the phase's unit-of-work counter into an
+/// events/sec throughput column (docs/OBSERVABILITY.md, "Cost
+/// attribution"). `--json` writes the same table as JSON.
 ///
 /// `trace` replays one deterministic trial (or `--trials=K` with derived
 /// per-trial seeds) of the Dauwe-selected plan. `--format` picks the

@@ -433,7 +433,7 @@ util::ThreadPoolMetrics pool_metrics(obs::MetricsRegistry& registry) {
   util::ThreadPoolMetrics m;
   m.tasks_run = &registry.counter("pool.tasks_run");
   m.queue_depth_high_water = &registry.gauge("pool.queue_depth_high_water");
-  m.task_latency_us = &registry.histogram("pool.task_latency_us");
+  m.task_latency_ns = &registry.histogram("pool.task_latency_ns");
   return m;
 }
 

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace mlck::obs {
+
+/// Aggregated cost of one span name across a trace: where the wall time
+/// went, split into self time (inside the phase but outside any nested
+/// span) and child time (inside nested spans), joined with the per-phase
+/// counter that counts the phase's unit of work.
+struct PhaseCost {
+  std::string name;      ///< span name ("optimizer.coarse_sweep", ...)
+  std::string category;  ///< span category of the first occurrence
+  std::size_t spans = 0;  ///< occurrences aggregated
+  double total_us = 0.0;  ///< sum of span durations
+  double self_us = 0.0;   ///< total minus time in *direct* child spans
+  double child_us = 0.0;  ///< time in direct child spans
+  /// Joined counter name; empty when the phase has no known unit of
+  /// work (see attribution join table in docs/OBSERVABILITY.md).
+  std::string counter;
+  std::uint64_t events = 0;  ///< the counter's value at report time
+  /// events / (total_us seconds). Spans on different threads overlap in
+  /// wall time, so this is throughput per *busy* second summed across
+  /// workers, not per elapsed second.
+  double events_per_sec = 0.0;
+};
+
+/// The counter a span name is joined with in the attribution report
+/// ("optimizer.coarse_sweep" -> "optimizer.plans_swept"); empty for
+/// span names with no registered unit of work.
+std::string attribution_counter(const std::string& span_name);
+
+/// Joins @p spans with @p snapshot into per-phase costs, sorted by
+/// descending total time. Nesting is resolved per thread: spans fully
+/// contained in another span on the same thread count toward the outer
+/// span's child time (direct parent only — a grandchild is charged to
+/// its immediate parent, so no double counting).
+std::vector<PhaseCost> attribute_costs(const std::vector<SpanEvent>& spans,
+                                       const RegistrySnapshot& snapshot);
+
+/// The report as JSON: { "phases": [ { "name", "category", "spans",
+/// "total_us", "self_us", "child_us", "counter", "events",
+/// "events_per_sec" }, ... ] } in the same descending-total order.
+util::Json attribution_json(const std::vector<PhaseCost>& phases);
+
+/// Human-readable table (used by `mlck report`).
+void print_attribution(std::ostream& out,
+                       const std::vector<PhaseCost>& phases);
+
+}  // namespace mlck::obs

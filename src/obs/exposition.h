@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "util/json.h"
+
+namespace mlck::obs {
+
+class TelemetrySampler;
+
+/// Current schema_version stamped into every sidecar/timeline `meta`
+/// section. Bump when the document shape changes incompatibly;
+/// docs/OBSERVABILITY.md documents each version.
+inline constexpr int kSidecarSchemaVersion = 2;
+
+/// Maps a dot-separated metric name to its OpenMetrics metric name:
+/// "mlck_" prefix, dots (and any other character outside [a-zA-Z0-9_])
+/// replaced with underscores. "engine.context_cache.hits" ->
+/// "mlck_engine_context_cache_hits".
+std::string openmetrics_name(const std::string& name);
+
+/// Renders @p snapshot in the OpenMetrics text exposition format
+/// (Prometheus-compatible):
+///  * counters as `# TYPE <n> counter` with a `<n>_total` sample;
+///  * gauges as `# TYPE <n> gauge`;
+///  * histograms as `# TYPE <n> histogram` with *cumulative* `_bucket`
+///    samples (le="...", closing with le="+Inf"), `_sum`, and `_count`
+///    (the registry's buckets are per-bucket counts; this conversion
+///    accumulates them);
+///  * terminated by the mandatory `# EOF` line.
+/// Metric order follows the snapshot (name-sorted per kind), so output
+/// is deterministic.
+std::string openmetrics_text(const RegistrySnapshot& snapshot);
+
+/// The standard `meta` section stamped onto machine-readable artifacts:
+///   { "schema_version": 2, "written_at": "YYYY-MM-DDTHH:MM:SSZ",
+///     "argv": [ ... ], "metric_count": N }
+/// written_at is UTC wall-clock (the one intentionally nondeterministic
+/// field — everything else in a sidecar is reproducible).
+util::Json sidecar_meta(const std::vector<std::string>& argv,
+                        std::size_t metric_count);
+
+/// Full metrics sidecar document: the registry's to_json() sections plus
+/// the `meta` header above.
+util::Json sidecar_json(const MetricsRegistry& registry,
+                        const std::vector<std::string>& argv);
+
+/// Timeline as JSON Lines: the first line is the `meta` object (plus
+/// "kind": "timeline_meta", sampler period/capacity/ticks/overruns), then
+/// one line per (series, point) in time order:
+///   {"kind":"point","metric":...,"type":"counter"|"gauge","t":...,
+///    "value":...,"rate":...}
+///   {"kind":"hist","metric":...,"t":...,"count":...,"rate":...,
+///    "mean":...,"p50":...,"p90":...,"p99":...}
+/// Each line is compact JSON; streaming-friendly (grep/jq per line).
+std::string timeline_jsonl(const TelemetrySampler& sampler,
+                           const std::vector<std::string>& argv);
+
+}  // namespace mlck::obs

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
@@ -58,26 +59,39 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Fixed-layout histogram of non-negative samples: power-of-two buckets
-/// (bucket i counts samples in (2^(i-1), 2^i]; bucket 0 catches
-/// everything <= 1) plus exact count/sum/min/max. All updates are relaxed
-/// atomics, so concurrent record() calls never lock; totals are exact,
-/// the min/max pair is exact, and bucket placement is deterministic for a
-/// given value.
+/// Fixed-layout histogram of non-negative samples: log-linear buckets
+/// with 4 sub-buckets per power-of-two octave (bucket i, i >= 1, counts
+/// samples in (2^((i-1)/4), 2^(i/4)]; bucket 0 catches everything <= 1)
+/// plus exact count/sum/min/max. All updates are relaxed atomics except
+/// the final count increment (release), so concurrent record() calls
+/// never lock; totals are exact, the min/max pair is exact, and bucket
+/// placement is deterministic for a given value.
+///
+/// Snapshot consistency: record() commits count_ *last* with release
+/// ordering, and count() loads with acquire, so a reader that observes
+/// count == n also observes at least n samples' worth of bucket, sum,
+/// min, and max updates — a snapshot never reports a count whose sum or
+/// buckets are still missing (no torn count/sum pairs; the concurrency
+/// tests in tests/test_obs.cpp pin this).
 class Histogram {
  public:
-  static constexpr std::size_t kBuckets = 64;
+  /// Sub-buckets per power-of-two octave: bucket edges step by 2^(1/4).
+  static constexpr std::size_t kSubBuckets = 4;
+  static constexpr std::size_t kBuckets = 256;  ///< 64 octaves x 4
 
   void record(double value) noexcept {
-    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    atomic_add(sum_, value);
     atomic_min(min_, value);
     atomic_max(max_, value);
+    atomic_add(sum_, value);
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    // Publish last: a reader that sees this increment also sees the
+    // sample's contribution to every other field (release/acquire pair
+    // with count()).
+    count_.fetch_add(1, std::memory_order_release);
   }
 
   std::uint64_t count() const noexcept {
-    return count_.load(std::memory_order_relaxed);
+    return count_.load(std::memory_order_acquire);
   }
   double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
   /// +inf / -inf respectively when no sample was recorded.
@@ -92,15 +106,16 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
-  /// Approximate q-quantile (q in [0, 1]) from the power-of-two buckets:
+  /// Approximate q-quantile (q in [0, 1]) from the log-linear buckets:
   /// locates the bucket holding the nearest-rank sample (rank
   /// ceil(q * count)), then interpolates linearly across that bucket's
   /// span, with the bucket edges clamped to the recorded [min(), max()].
   /// Exact when every sample in the target bucket has one value (e.g. a
   /// single-sample histogram, or min == max within the bucket); otherwise
   /// the estimate and the true quantile share a bucket, so the estimate
-  /// is within a factor of 2 of the true value (the bucket's edge ratio;
-  /// see docs/OBSERVABILITY.md for the bound). NaN when empty.
+  /// is within a factor of 2^(1/4) ~ 1.19 of the true value — at most
+  /// 19% off (the bucket's edge ratio; see docs/OBSERVABILITY.md for the
+  /// bound). NaN when empty.
   double quantile_estimate(double q) const noexcept {
     const std::uint64_t n = count();
     if (n == 0) return std::numeric_limits<double>::quiet_NaN();
@@ -119,9 +134,10 @@ class Histogram {
         seen += in_bucket;
         continue;
       }
-      // Bucket i spans (2^(i-1), 2^i]; clamp to the observed extremes so
-      // the estimate never leaves [min, max] (and the unbounded last
-      // bucket and the catch-all bucket 0 get finite edges).
+      // Bucket i spans (2^((i-1)/4), 2^(i/4)]; clamp to the observed
+      // extremes so the estimate never leaves [min, max] (and the
+      // unbounded last bucket and the catch-all bucket 0 get finite
+      // edges).
       double lo = i == 0 ? 0.0 : bucket_upper_bound(i - 1);
       double hi = bucket_upper_bound(i);
       const double lo_clamp = min();
@@ -139,24 +155,61 @@ class Histogram {
     return max();  // unreachable with a consistent count; defensive
   }
 
-  /// Inclusive upper bound of bucket @p i (2^i; the last bucket is
+  /// Inclusive upper bound of bucket @p i (2^(i/4); the last bucket is
   /// unbounded and reports +inf).
   static double bucket_upper_bound(std::size_t i) noexcept {
     if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
-    return std::ldexp(1.0, static_cast<int>(i));
+    return std::ldexp(kOctaveEdges[i % kSubBuckets],
+                      static_cast<int>(i / kSubBuckets));
   }
 
   static std::size_t bucket_index(double value) noexcept {
     if (!(value > 1.0)) return 0;  // <= 1, negative, and NaN
-    const int e = std::ilogb(value);
-    // value in (2^(e), 2^(e+1)] maps to bucket e+1, except exact powers
-    // of two which ilogb already places at their own exponent.
-    const std::size_t i = static_cast<std::size_t>(e) +
-                          (value > std::ldexp(1.0, e) ? 1u : 0u);
+    // Octave and fraction straight from the bit pattern (no
+    // ilogb/ldexp libm calls — this runs once per sample on recording
+    // hot paths): value > 1 guarantees a positive normal (or infinite)
+    // double, so the biased exponent field is the octave and the raw
+    // 52-bit mantissa orders exactly like the fractional part — the
+    // quarter-power edges live in the same binade [1, 2), making the
+    // integer compares bit-for-bit equivalent to comparing
+    // value / 2^octave against kOctaveEdges.
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+    const std::size_t e = (bits >> 52) - 1023;  // inf => 1024, clamped
+    const std::uint64_t m = bits & kMantissaMask;
+    // Sub-bucket within the octave: smallest quarter-power edge at or
+    // above the fraction. Exact powers of two (mantissa 0) stay at
+    // their own edge, mirroring the inclusive upper bounds.
+    std::size_t sub = 0;
+    if (m > kEdgeMantissa[3]) {
+      sub = 4;
+    } else if (m > kEdgeMantissa[2]) {
+      sub = 3;
+    } else if (m > kEdgeMantissa[1]) {
+      sub = 2;
+    } else if (m > 0) {
+      sub = 1;
+    }
+    const std::size_t i = e * kSubBuckets + sub;
     return i < kBuckets ? i : kBuckets - 1;
   }
 
  private:
+  /// Quarter-power-of-two edges within one octave: 2^(k/4) for k = 0..3
+  /// (nearest-double literals; constexpr forbids std::pow). The bucket
+  /// edge ratio 2^(1/4) is what bounds quantile_estimate at <= 19%.
+  static constexpr double kOctaveEdges[kSubBuckets] = {
+      1.0, 1.1892071150027210, 1.4142135623730951, 1.6817928305074290};
+
+  /// The same edges as raw mantissa bits, for bucket_index's integer
+  /// compares.
+  static constexpr std::uint64_t kMantissaMask =
+      (std::uint64_t{1} << 52) - 1;
+  static constexpr std::uint64_t kEdgeMantissa[kSubBuckets] = {
+      std::bit_cast<std::uint64_t>(kOctaveEdges[0]) & kMantissaMask,
+      std::bit_cast<std::uint64_t>(kOctaveEdges[1]) & kMantissaMask,
+      std::bit_cast<std::uint64_t>(kOctaveEdges[2]) & kMantissaMask,
+      std::bit_cast<std::uint64_t>(kOctaveEdges[3]) & kMantissaMask};
+
   static void atomic_add(std::atomic<double>& a, double v) noexcept {
     double cur = a.load(std::memory_order_relaxed);
     while (!a.compare_exchange_weak(cur, cur + v,
@@ -176,6 +229,8 @@ class Histogram {
     }
   }
 
+  friend class HistogramBatch;
+
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
@@ -183,9 +238,58 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
-/// RAII wall-clock timer recording elapsed microseconds into a Histogram
-/// on destruction. Null-safe: with histogram == nullptr neither the clock
-/// is read nor anything recorded.
+/// Single-threaded batch accumulator for tight recording loops: record()
+/// updates plain (non-atomic) locals, flush() merges the whole batch into
+/// a shared Histogram with O(non-zero buckets) atomic operations instead
+/// of five per sample. Used by serial aggregation passes (e.g. the
+/// trial runner's reduction loop) where per-sample atomics would dominate
+/// the loop body. flush() preserves the histogram's snapshot-consistency
+/// order (count published last, release) and resets the batch for reuse.
+class HistogramBatch {
+ public:
+  void record(double value) noexcept {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+    sum_ += value;
+    ++buckets_[Histogram::bucket_index(value)];
+    ++count_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+
+  /// Merges into @p histogram (null-safe no-op) and resets. One atomic
+  /// CAS/fetch_add per touched field rather than per sample.
+  void flush(Histogram* histogram) noexcept {
+    if (histogram != nullptr && count_ > 0) {
+      Histogram::atomic_min(histogram->min_, min_);
+      Histogram::atomic_max(histogram->max_, max_);
+      Histogram::atomic_add(histogram->sum_, sum_);
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        if (buckets_[i] != 0) {
+          histogram->buckets_[i].fetch_add(buckets_[i],
+                                           std::memory_order_relaxed);
+        }
+      }
+      histogram->count_.fetch_add(count_, std::memory_order_release);
+    }
+    *this = HistogramBatch();
+  }
+
+ private:
+  std::uint64_t buckets_[Histogram::kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// RAII wall-clock timer recording elapsed **nanoseconds** into a
+/// Histogram on destruction (metrics fed by it carry a `_ns` suffix,
+/// e.g. pool.task_latency_ns). Nanoseconds, not microseconds: the
+/// histogram's bucket 0 swallows everything <= 1, so recording in µs
+/// collapsed every sub-microsecond span — most pool tasks — into one
+/// unresolvable bucket. Null-safe: with histogram == nullptr neither the
+/// clock is read nor anything recorded.
 class ScopedTimer {
  public:
   explicit ScopedTimer(Histogram* histogram) noexcept
@@ -196,7 +300,7 @@ class ScopedTimer {
     if (histogram_ != nullptr) {
       const auto elapsed = std::chrono::steady_clock::now() - start_;
       histogram_->record(
-          std::chrono::duration<double, std::micro>(elapsed).count());
+          std::chrono::duration<double, std::nano>(elapsed).count());
     }
   }
   ScopedTimer(const ScopedTimer&) = delete;

@@ -39,46 +39,84 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
-util::Json MetricsRegistry::to_json() const {
+namespace {
+
+/// One histogram, read count-first: the acquire load of count pairs with
+/// record()'s release increment, so the fields read afterwards cover at
+/// least `count` samples (no torn count/sum pairs).
+HistogramSnapshot snapshot_histogram(const Histogram& h) {
+  HistogramSnapshot snap;
+  snap.count = h.count();  // acquire; must be the first read
+  snap.sum = h.sum();
+  snap.min = h.min();
+  snap.max = h.max();
+  snap.p50 = h.quantile_estimate(0.50);
+  snap.p90 = h.quantile_estimate(0.90);
+  snap.p99 = h.quantile_estimate(0.99);
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t in_bucket = h.bucket_count(i);
+    if (in_bucket == 0) continue;
+    snap.buckets.emplace_back(Histogram::bucket_upper_bound(i), in_bucket);
+  }
+  return snap;
+}
+
+}  // namespace
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mutex_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, snapshot_histogram(*h));
+  }
+  return snap;
+}
+
+util::Json MetricsRegistry::to_json() const {
+  const RegistrySnapshot snap = snapshot();
   util::Json::Object doc;
-  if (!counters_.empty()) {
+  if (!snap.counters.empty()) {
     util::Json::Object section;
-    for (const auto& [name, c] : counters_) {
-      section[name] = util::Json(static_cast<double>(c->value()));
+    for (const auto& [name, value] : snap.counters) {
+      section[name] = util::Json(static_cast<double>(value));
     }
     doc["counters"] = util::Json(std::move(section));
   }
-  if (!gauges_.empty()) {
+  if (!snap.gauges.empty()) {
     util::Json::Object section;
-    for (const auto& [name, g] : gauges_) {
-      section[name] = util::Json(g->value());
+    for (const auto& [name, value] : snap.gauges) {
+      section[name] = util::Json(value);
     }
     doc["gauges"] = util::Json(std::move(section));
   }
-  if (!histograms_.empty()) {
+  if (!snap.histograms.empty()) {
     util::Json::Object section;
-    for (const auto& [name, h] : histograms_) {
+    for (const auto& [name, h] : snap.histograms) {
       util::Json::Object entry;
-      const std::uint64_t n = h->count();
-      entry["count"] = util::Json(static_cast<double>(n));
-      entry["sum"] = util::Json(h->sum());
-      entry["mean"] = util::Json(h->mean());
-      if (n > 0) {
-        entry["min"] = util::Json(h->min());
-        entry["max"] = util::Json(h->max());
+      entry["count"] = util::Json(static_cast<double>(h.count));
+      entry["sum"] = util::Json(h.sum);
+      entry["mean"] = util::Json(h.mean());
+      if (h.count > 0) {
+        entry["min"] = util::Json(h.min);
+        entry["max"] = util::Json(h.max);
         // Bucket-interpolated estimates (error bound documented in
         // docs/OBSERVABILITY.md).
-        entry["p50"] = util::Json(h->quantile_estimate(0.50));
-        entry["p90"] = util::Json(h->quantile_estimate(0.90));
-        entry["p99"] = util::Json(h->quantile_estimate(0.99));
+        entry["p50"] = util::Json(h.p50);
+        entry["p90"] = util::Json(h.p90);
+        entry["p99"] = util::Json(h.p99);
       }
       util::Json::Array buckets;
-      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
-        const std::uint64_t in_bucket = h->bucket_count(i);
-        if (in_bucket == 0) continue;
+      for (const auto& [le, in_bucket] : h.buckets) {
         util::Json::Object bucket;
-        const double le = Histogram::bucket_upper_bound(i);
         // JSON has no infinity literal; the open-ended last bucket is
         // marked with null instead.
         bucket["le"] = std::isfinite(le) ? util::Json(le) : util::Json();

@@ -1,15 +1,55 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/json.h"
 
 namespace mlck::obs {
+
+/// Point-in-time summary of one Histogram: exact totals plus the
+/// bucket-estimated quantiles (<= 19% error, obs/metrics.h). min/max are
+/// +inf/-inf and the quantiles NaN when count == 0. Reading order
+/// matters: count is loaded first (acquire, pairing with record()'s
+/// release), so every other field reflects at least `count` samples —
+/// never a count whose sum is still missing.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  /// Non-zero buckets only, ascending: (inclusive upper edge, count).
+  /// The open-ended last bucket reports +inf as its edge.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// One consistent walk of a registry's metrics, name-sorted per kind.
+/// This is the exchange type every exporter consumes (JSON sidecar,
+/// OpenMetrics text, the telemetry sampler, the cost-attribution
+/// report), so a metric added anywhere shows up in all of them.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  std::size_t metric_count() const noexcept {
+    return counters.size() + gauges.size() + histograms.size();
+  }
+};
 
 /// Thread-safe, name-keyed store of metric instances. Lookup/creation is
 /// serialized on a mutex; the returned references stay valid for the
@@ -31,6 +71,12 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  /// Point-in-time copy of every metric's value. The registry mutex is
+  /// held only to walk the name maps; the metric values themselves are
+  /// read with the primitives' lock-free atomic loads, so hot-path
+  /// updates proceed concurrently (and are never blocked by a snapshot).
+  RegistrySnapshot snapshot() const;
 
   /// Snapshot of every metric as one JSON document:
   ///   { "counters":   { name: count, ... },

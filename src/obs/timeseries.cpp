@@ -1,0 +1,207 @@
+#include "obs/timeseries.h"
+
+#include <utility>
+
+namespace mlck::obs {
+
+namespace {
+
+/// Appends @p point to @p points, dropping the oldest once @p capacity is
+/// reached.
+template <typename Point>
+void push_bounded(std::deque<Point>& points, Point point,
+                  std::size_t capacity) {
+  if (capacity == 0) return;
+  while (points.size() >= capacity) points.pop_front();
+  points.push_back(std::move(point));
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(MetricsRegistry& registry, Options options)
+    : registry_(registry),
+      options_(options),
+      ticks_metric_(registry.counter("obs.sampler.ticks")),
+      overruns_metric_(registry.counter("obs.sampler.overruns")),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::start() {
+  std::lock_guard lock(control_mutex_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  if (options_.sample_on_start) sample_now();
+  thread_ = std::thread([this] { sampler_loop(); });
+}
+
+void TelemetrySampler::stop() {
+  std::thread finished;
+  {
+    std::lock_guard lock(control_mutex_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+    finished = std::move(thread_);
+  }
+  wake_.notify_all();
+  finished.join();
+  if (options_.sample_on_stop) sample_now();
+}
+
+void TelemetrySampler::sample_now() {
+  const double t = elapsed_seconds();
+  std::lock_guard lock(data_mutex_);
+  sample_locked(t);
+}
+
+bool TelemetrySampler::running() const {
+  std::lock_guard lock(control_mutex_);
+  return thread_.joinable();
+}
+
+std::uint64_t TelemetrySampler::ticks() const {
+  std::lock_guard lock(data_mutex_);
+  return ticks_;
+}
+
+std::uint64_t TelemetrySampler::overruns() const {
+  std::lock_guard lock(data_mutex_);
+  return overruns_;
+}
+
+std::map<std::string, MetricSeries> TelemetrySampler::series() const {
+  std::lock_guard lock(data_mutex_);
+  return series_;
+}
+
+std::map<std::string, HistogramSeries> TelemetrySampler::histogram_series()
+    const {
+  std::lock_guard lock(data_mutex_);
+  return histogram_series_;
+}
+
+util::Json TelemetrySampler::to_json() const {
+  std::lock_guard lock(data_mutex_);
+  util::Json::Object doc;
+  doc["period_ms"] = util::Json(static_cast<double>(options_.period.count()));
+  doc["capacity"] = util::Json(static_cast<double>(options_.capacity));
+  doc["ticks"] = util::Json(static_cast<double>(ticks_));
+  doc["overruns"] = util::Json(static_cast<double>(overruns_));
+  util::Json::Object series;
+  for (const auto& [name, s] : series_) {
+    util::Json::Object entry;
+    entry["kind"] = util::Json(
+        s.kind == MetricSeries::Kind::kCounter ? "counter" : "gauge");
+    util::Json::Array points;
+    for (const SamplePoint& p : s.points) {
+      util::Json::Object point;
+      point["t"] = util::Json(p.t);
+      point["value"] = util::Json(p.value);
+      point["rate"] = util::Json(p.rate);
+      points.emplace_back(std::move(point));
+    }
+    entry["points"] = util::Json(std::move(points));
+    series[name] = util::Json(std::move(entry));
+  }
+  doc["series"] = util::Json(std::move(series));
+  util::Json::Object histograms;
+  for (const auto& [name, s] : histogram_series_) {
+    util::Json::Object entry;
+    util::Json::Array points;
+    for (const HistogramPoint& p : s.points) {
+      util::Json::Object point;
+      point["t"] = util::Json(p.t);
+      point["count"] = util::Json(static_cast<double>(p.count));
+      point["rate"] = util::Json(p.rate);
+      point["mean"] = util::Json(p.mean);
+      if (p.count > 0) {
+        point["p50"] = util::Json(p.p50);
+        point["p90"] = util::Json(p.p90);
+        point["p99"] = util::Json(p.p99);
+      }
+      points.emplace_back(std::move(point));
+    }
+    entry["points"] = util::Json(std::move(points));
+    histograms[name] = util::Json(std::move(entry));
+  }
+  doc["histograms"] = util::Json(std::move(histograms));
+  return util::Json(std::move(doc));
+}
+
+void TelemetrySampler::sampler_loop() {
+  auto deadline = std::chrono::steady_clock::now() + options_.period;
+  for (;;) {
+    {
+      std::unique_lock lock(control_mutex_);
+      wake_.wait_until(lock, deadline, [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    sample_now();
+    const auto now = std::chrono::steady_clock::now();
+    deadline += options_.period;
+    if (deadline < now) {
+      // The tick took longer than a period (huge registry or a loaded
+      // host): count the overrun and re-anchor rather than firing a
+      // burst of make-up ticks.
+      {
+        std::lock_guard lock(data_mutex_);
+        ++overruns_;
+      }
+      overruns_metric_.add();
+      deadline = now + options_.period;
+    }
+  }
+}
+
+void TelemetrySampler::sample_locked(double t) {
+  const RegistrySnapshot snap = registry_.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    MetricSeries& s = series_[name];
+    s.kind = MetricSeries::Kind::kCounter;
+    SamplePoint point;
+    point.t = t;
+    point.value = static_cast<double>(value);
+    if (!s.points.empty()) {
+      const SamplePoint& prev = s.points.back();
+      const double dt = t - prev.t;
+      if (dt > 0.0) point.rate = (point.value - prev.value) / dt;
+    }
+    push_bounded(s.points, point, options_.capacity);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    MetricSeries& s = series_[name];
+    s.kind = MetricSeries::Kind::kGauge;
+    SamplePoint point;
+    point.t = t;
+    point.value = value;
+    push_bounded(s.points, point, options_.capacity);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    HistogramSeries& s = histogram_series_[name];
+    HistogramPoint point;
+    point.t = t;
+    point.count = h.count;
+    point.mean = h.mean();
+    point.p50 = h.p50;
+    point.p90 = h.p90;
+    point.p99 = h.p99;
+    if (!s.points.empty()) {
+      const HistogramPoint& prev = s.points.back();
+      const double dt = t - prev.t;
+      if (dt > 0.0 && h.count >= prev.count) {
+        point.rate = static_cast<double>(h.count - prev.count) / dt;
+      }
+    }
+    push_bounded(s.points, point, options_.capacity);
+  }
+  ++ticks_;
+  ticks_metric_.add();
+}
+
+double TelemetrySampler::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+}  // namespace mlck::obs

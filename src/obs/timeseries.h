@@ -1,0 +1,176 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+#include "util/json.h"
+
+namespace mlck::obs {
+
+/// One sampled value of a counter or gauge series.
+struct SamplePoint {
+  /// Seconds since the sampler started (host steady clock).
+  double t = 0.0;
+  /// Counter: cumulative count at the tick. Gauge: the gauge's value.
+  double value = 0.0;
+  /// Counter: events/sec derived from the previous tick (0 for the first
+  /// point). Gauge: 0 (rates are not meaningful for last-write-wins
+  /// values).
+  double rate = 0.0;
+};
+
+/// One sampled summary of a histogram series. Raw per-sample values are
+/// not retained (the histogram itself already aggregates); the timeline
+/// keeps the summary statistics at each tick instead.
+struct HistogramPoint {
+  double t = 0.0;            ///< seconds since sampler start
+  std::uint64_t count = 0;   ///< cumulative samples recorded
+  double rate = 0.0;         ///< samples/sec since the previous tick
+  double mean = 0.0;         ///< cumulative mean (sum / count)
+  double p50 = 0.0;          ///< bucket-estimated quantiles (<= 19% error)
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Fixed-capacity time series for one counter or gauge metric.
+struct MetricSeries {
+  enum class Kind { kCounter, kGauge };
+  Kind kind = Kind::kCounter;
+  /// Oldest-first; bounded by TelemetrySampler::Options::capacity (the
+  /// oldest point is dropped once full).
+  std::deque<SamplePoint> points;
+};
+
+/// Fixed-capacity time series for one histogram metric.
+struct HistogramSeries {
+  std::deque<HistogramPoint> points;
+};
+
+/// Background thread that snapshots a MetricsRegistry at a fixed cadence
+/// and accumulates per-metric ring buffers — the live timeline behind
+/// `--timeline` and the sampler lanes of bench_obs.
+///
+/// Design contract (mirrors the rest of the observe-only stack):
+///  * Hot paths are never touched: each tick calls
+///    MetricsRegistry::snapshot(), which reads metric values with relaxed
+///    atomic loads. Instrumented code keeps its one-branch-when-detached
+///    cost; attaching a sampler adds no synchronization to it.
+///  * The ring buffers live behind the sampler's own mutex, contended
+///    only by the sampler thread and exporters (series()/to_json()) —
+///    never by instrumented code.
+///  * Counters additionally get a derived rate (delta / elapsed) so the
+///    timeline answers "how fast" without post-processing; histograms
+///    keep cumulative count/mean plus the bucket-estimated quantiles.
+///  * The sampler reports on itself through the registry it samples:
+///    "obs.sampler.ticks" counts completed ticks and
+///    "obs.sampler.overruns" counts ticks that finished after the next
+///    deadline had already passed (cadence too fast for the registry
+///    size). Overruns skip ahead rather than bunching up.
+///
+/// Lifecycle: construct, start(), run the workload, stop() (also called
+/// by the destructor), then read series()/to_json(). start()/stop() are
+/// idempotent; restarting after a stop resumes appending to the same
+/// buffers with the original epoch.
+class TelemetrySampler {
+ public:
+  struct Options {
+    /// Tick cadence. The default (50 ms) gives ~20 points/sec — enough
+    /// resolution for second-scale phases at negligible cost.
+    std::chrono::milliseconds period{50};
+    /// Max points retained per metric series; the oldest point is
+    /// dropped once a ring is full. 1024 points at the default cadence
+    /// is ~51 s of history.
+    std::size_t capacity = 1024;
+    /// Take a sample immediately on start() (before the first period
+    /// elapses) so short workloads still get a baseline point.
+    bool sample_on_start = true;
+    /// Take a final sample inside stop() so the timeline's last point
+    /// reflects the workload's end state.
+    bool sample_on_stop = true;
+  };
+
+  /// @p registry must outlive the sampler. Registers the
+  /// obs.sampler.ticks / obs.sampler.overruns self-metrics immediately
+  /// (so they appear in exports even before the first tick).
+  explicit TelemetrySampler(MetricsRegistry& registry)
+      : TelemetrySampler(registry, Options()) {}
+  TelemetrySampler(MetricsRegistry& registry, Options options);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Launches the background thread. No-op if already running.
+  void start();
+
+  /// Takes the final sample (if configured), stops the thread, and
+  /// joins it. No-op if not running. Safe to call from any thread
+  /// except the sampler thread itself.
+  void stop();
+
+  /// Takes one sample synchronously on the calling thread. Usable
+  /// whether or not the background thread is running (the tick counter
+  /// advances either way).
+  void sample_now();
+
+  bool running() const;
+
+  /// Completed ticks (background and sample_now() alike).
+  std::uint64_t ticks() const;
+
+  /// Ticks that completed after their next deadline had already passed.
+  std::uint64_t overruns() const;
+
+  /// Copy of the counter/gauge series accumulated so far, name-keyed.
+  std::map<std::string, MetricSeries> series() const;
+
+  /// Copy of the histogram series accumulated so far, name-keyed.
+  std::map<std::string, HistogramSeries> histogram_series() const;
+
+  /// The whole timeline as one JSON document:
+  ///   { "period_ms": P, "capacity": C, "ticks": N, "overruns": O,
+  ///     "series": { name: { "kind": "counter"|"gauge",
+  ///                         "points": [ { "t", "value", "rate" }, ... ] } },
+  ///     "histograms": { name: { "points": [ { "t", "count", "rate",
+  ///                         "mean", "p50", "p90", "p99" }, ... ] } } }
+  /// Deterministic key order; suitable for sidecar embedding.
+  util::Json to_json() const;
+
+ private:
+  void sampler_loop();
+  /// Appends one sample of every metric at elapsed time @p t seconds.
+  /// Caller must hold data_mutex_.
+  void sample_locked(double t);
+  double elapsed_seconds() const;
+
+  MetricsRegistry& registry_;
+  const Options options_;
+  Counter& ticks_metric_;
+  Counter& overruns_metric_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  // Thread control.
+  mutable std::mutex control_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+
+  // Accumulated series; touched only by the sampler thread (or
+  // sample_now() callers) and exporters.
+  mutable std::mutex data_mutex_;
+  std::map<std::string, MetricSeries> series_;
+  std::map<std::string, HistogramSeries> histogram_series_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t overruns_ = 0;
+};
+
+}  // namespace mlck::obs

@@ -27,7 +27,7 @@ struct SimMetrics {
   obs::Counter* scratch_restarts = nullptr;
   obs::Counter* capped_trials = nullptr;
   /// Simulated wall-clock minutes per trial (deterministic, unlike host
-  /// wall time — see pool.task_latency_us for the latter).
+  /// wall time — see pool.task_latency_ns for the latter).
   obs::Histogram* trial_time_minutes = nullptr;
 };
 

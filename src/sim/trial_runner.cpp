@@ -1,8 +1,11 @@
 #include "sim/trial_runner.h"
 
 #include <algorithm>
+#include <mutex>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/compiled_schedule.h"
 #include "sim/fast_forward.h"
 #include "util/parallel.h"
@@ -57,9 +60,6 @@ TrialStats aggregate_results(const std::vector<TrialResult>& results,
     restarts_failed_total += r.restarts_failed;
     scratch_total += r.scratch_restarts;
     if (r.capped) ++stats.capped_trials;
-    if (metrics != nullptr && metrics->trial_time_minutes != nullptr) {
-      metrics->trial_time_minutes->record(r.total_time);
-    }
   }
   if (metrics != nullptr) {
     const auto bump = [](obs::Counter* c, auto n) {
@@ -120,6 +120,22 @@ TrialStats batch_trials(const systems::SystemConfig& system,
   const NoFailureTrajectory* fast =
       trajectory.valid() ? &trajectory : nullptr;
 
+  // Per-trial time histogram, recorded inside the parallel phase: each
+  // chunk fills a private non-atomic HistogramBatch alongside its trial
+  // loop, and the batches merge serially afterwards, sorted by chunk
+  // start. Recording in the serial reduction instead would put the whole
+  // per-sample cost on the critical path — with many workers that alone
+  // blew the bench_obs <= 2% attached-overhead budget. Counts, buckets,
+  // min, and max are exact integers/extrema, so they stay independent of
+  // the pool size; only the histogram's floating-point sum adopts the
+  // chunk layout's addition order (deterministic for a fixed pool size,
+  // like every other chunk-granular quantity here).
+  obs::Histogram* trial_times =
+      options.metrics != nullptr ? options.metrics->trial_time_minutes
+                                 : nullptr;
+  std::mutex batches_mutex;
+  std::vector<std::pair<std::size_t, obs::HistogramBatch>> batches;
+
   std::vector<TrialResult> results(trials);
   util::parallel_for_chunks(pool, trials, [&](std::size_t begin,
                                               std::size_t end) {
@@ -127,6 +143,7 @@ TrialStats batch_trials(const systems::SystemConfig& system,
         make_source(util::Rng(util::derive_stream_seed(seed, begin)));
     SimOptions opts = options;
     opts.capture = nullptr;
+    obs::HistogramBatch chunk_times;
     for (std::size_t k = begin; k < end; ++k) {
       source.reset(util::Rng(util::derive_stream_seed(seed, k)));
       if (capture != nullptr) {
@@ -136,8 +153,20 @@ TrialStats batch_trials(const systems::SystemConfig& system,
         opts.trace = k < captured ? &capture->trials[k].events : nullptr;
       }
       results[k] = simulate(system, schedule, source, opts, fast);
+      if (trial_times != nullptr) {
+        chunk_times.record(results[k].total_time);
+      }
+    }
+    if (trial_times != nullptr && chunk_times.count() > 0) {
+      std::lock_guard<std::mutex> lock(batches_mutex);
+      batches.emplace_back(begin, std::move(chunk_times));
     }
   });
+  if (trial_times != nullptr) {
+    std::sort(batches.begin(), batches.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [begin, batch] : batches) batch.flush(trial_times);
+  }
   if (capture != nullptr) {
     for (std::size_t k = 0; k < captured; ++k) {
       capture->trials[k].result = results[k];

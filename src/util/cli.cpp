@@ -6,6 +6,8 @@
 namespace mlck::util {
 
 Cli::Cli(int argc, const char* const* argv) {
+  raw_.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) raw_.emplace_back(argv[i]);
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--", 0) == 0) {

@@ -33,6 +33,10 @@ class Cli {
   /// Positional (non "--") arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// The original argv tokens, including argv[0], verbatim — for
+  /// stamping provenance into artifact `meta` sections.
+  const std::vector<std::string>& raw_args() const { return raw_; }
+
   /// Marks a key as recognized; unrecognized() lists the rest.
   std::vector<std::string> unrecognized() const;
 
@@ -40,6 +44,7 @@ class Cli {
   std::map<std::string, std::string> options_;
   mutable std::map<std::string, bool> seen_;
   std::vector<std::string> positional_;
+  std::vector<std::string> raw_;
 };
 
 }  // namespace mlck::util

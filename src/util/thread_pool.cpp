@@ -80,7 +80,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     std::exception_ptr error;
     {
-      obs::ScopedTimer timer(metrics.task_latency_us);
+      obs::ScopedTimer timer(metrics.task_latency_ns);
       obs::Span span(trace, "pool.task", "pool");
       try {
         task();

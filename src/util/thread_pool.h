@@ -20,7 +20,7 @@ struct ThreadPoolMetrics {
   obs::Counter* tasks_run = nullptr;  ///< tasks executed to completion
   /// Deepest queue ever observed at submit time (high-water mark).
   obs::Gauge* queue_depth_high_water = nullptr;
-  obs::Histogram* task_latency_us = nullptr;  ///< per-task wall time, µs
+  obs::Histogram* task_latency_ns = nullptr;  ///< per-task wall time, ns
 };
 
 /// Fixed-size worker pool executing void() tasks.

@@ -235,6 +235,77 @@ TEST(Commands, ScenarioLawFlagOverridesSpecFailureSection) {
   std::filesystem::remove(spec);
 }
 
+TEST(Commands, ScenarioOpenMetricsAndTimelineExports) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto spec = (dir / "mlck_cmd_scn_obs_spec.json").string();
+  const auto om = (dir / "mlck_cmd_scn_obs.om").string();
+  const auto tl = (dir / "mlck_cmd_scn_obs.jsonl").string();
+  ASSERT_EQ(run({"scenario", "--system=B", "--emit-spec=" + spec}).code, 0);
+  const auto bare =
+      run({"scenario", "--spec=" + spec, "--trials=20", "--seed=5"});
+  ASSERT_EQ(bare.code, 0) << bare.err;
+  const auto exported = run({"scenario", "--spec=" + spec, "--trials=20",
+                             "--seed=5", "--openmetrics=" + om,
+                             "--timeline=" + tl, "--sample-period-ms=1"});
+  ASSERT_EQ(exported.code, 0) << exported.err;
+  // Observe-only: the exports only append notices after the report.
+  EXPECT_EQ(exported.out.substr(0, bare.out.size()), bare.out);
+
+  const std::string text = core::read_file(om);
+  EXPECT_NE(text.find("# TYPE mlck_sim_trials counter"), std::string::npos);
+  EXPECT_NE(text.find("mlck_sim_trials_total"), std::string::npos);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  const std::string jsonl = core::read_file(tl);
+  const auto nl = jsonl.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  const auto meta = util::Json::parse(jsonl.substr(0, nl));
+  EXPECT_EQ(meta.at("kind").as_string(), "timeline_meta");
+  EXPECT_GE(meta.at("ticks").as_number(), 1.0);
+  std::filesystem::remove(spec);
+  std::filesystem::remove(om);
+  std::filesystem::remove(tl);
+}
+
+TEST(Commands, ExportFlagsRequireAPath) {
+  const auto r = run({"optimize", "--system=B", "--openmetrics"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--openmetrics"), std::string::npos);
+}
+
+TEST(Commands, ReportJoinsSpansWithCounters) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto spec = (dir / "mlck_cmd_report_spec.json").string();
+  const auto json = (dir / "mlck_cmd_report.json").string();
+  ASSERT_EQ(run({"scenario", "--system=B", "--emit-spec=" + spec}).code, 0);
+  const auto r = run({"report", "--spec=" + spec, "--trials=20", "--seed=5",
+                      "--json=" + json});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("cost attribution"), std::string::npos);
+  EXPECT_NE(r.out.find("scenario.simulate"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("plan "), std::string::npos);
+
+  const auto doc = util::Json::parse(core::read_file(json));
+  const auto& phases = doc.at("phases").as_array();
+  ASSERT_FALSE(phases.empty());
+  // Every phase splits total into self + children, in microseconds.
+  for (const auto& p : phases) {
+    EXPECT_NEAR(p.at("total_us").as_number(),
+                p.at("self_us").as_number() + p.at("child_us").as_number(),
+                1e-6);
+  }
+  EXPECT_GE(doc.at("meta").at("schema_version").as_number(), 2.0);
+  std::filesystem::remove(spec);
+  std::filesystem::remove(json);
+}
+
+TEST(Commands, ReportRequiresSpec) {
+  const auto r = run({"report"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--spec"), std::string::npos);
+}
+
 TEST(Commands, ScenarioTraceWritesChromeFileAndKeepsResults) {
   const auto dir = std::filesystem::temp_directory_path();
   const auto spec = (dir / "mlck_cmd_scn_spec.json").string();

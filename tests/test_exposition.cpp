@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/attribution.h"
+#include "obs/exposition.h"
+#include "obs/registry.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace mlck::obs {
+namespace {
+
+std::vector<std::string> fake_argv() {
+  return {"mlck", "scenario", "--trials=100"};
+}
+
+/// Splits @p text into lines (dropping the trailing empty line).
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(OpenMetricsName, MapsDotsAndJunkToUnderscores) {
+  EXPECT_EQ(openmetrics_name("engine.context_cache.hits"),
+            "mlck_engine_context_cache_hits");
+  EXPECT_EQ(openmetrics_name("pool.task_latency_ns"),
+            "mlck_pool_task_latency_ns");
+  EXPECT_EQ(openmetrics_name("weird-name with:chars"),
+            "mlck_weird_name_with_chars");
+}
+
+TEST(OpenMetricsText, RendersCountersGaugesAndHistograms) {
+  MetricsRegistry reg;
+  reg.counter("sim.trials").add(7);
+  reg.gauge("pool.queue_depth_high_water").set(3.0);
+  Histogram& h = reg.histogram("sim.trial_time_minutes");
+  h.record(3.0);
+  h.record(100.0);
+  const std::string text = openmetrics_text(reg.snapshot());
+
+  EXPECT_NE(text.find("# TYPE mlck_sim_trials counter"), std::string::npos);
+  EXPECT_NE(text.find("mlck_sim_trials_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mlck_pool_queue_depth_high_water gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("mlck_pool_queue_depth_high_water 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mlck_sim_trial_time_minutes histogram"),
+            std::string::npos);
+  // Cumulative buckets close with +Inf carrying the total count, and the
+  // _sum/_count samples follow.
+  EXPECT_NE(text.find("mlck_sim_trial_time_minutes_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("mlck_sim_trial_time_minutes_sum 103"),
+            std::string::npos);
+  EXPECT_NE(text.find("mlck_sim_trial_time_minutes_count 2"),
+            std::string::npos);
+  // Mandatory terminator, exactly at the end.
+  const auto all = lines_of(text);
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.back(), "# EOF");
+}
+
+TEST(OpenMetricsText, BucketsAreCumulativeAndOrdered) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  h.record(1.5);
+  h.record(1.5);
+  h.record(100.0);
+  const std::string text = openmetrics_text(reg.snapshot());
+  // Parse every _bucket line: le ascending, counts non-decreasing.
+  double prev_le = -1.0;
+  std::uint64_t prev_count = 0;
+  std::uint64_t inf_count = 0;
+  int buckets = 0;
+  for (const std::string& line : lines_of(text)) {
+    const std::string prefix = "mlck_lat_bucket{le=\"";
+    if (line.rfind(prefix, 0) != 0) continue;
+    ++buckets;
+    const auto close = line.find('"', prefix.size());
+    ASSERT_NE(close, std::string::npos);
+    const std::string le = line.substr(prefix.size(), close - prefix.size());
+    const std::uint64_t count =
+        std::stoull(line.substr(line.find("} ") + 2));
+    EXPECT_GE(count, prev_count);
+    prev_count = count;
+    if (le == "+Inf") {
+      inf_count = count;
+    } else {
+      const double le_value = std::stod(le);
+      EXPECT_GT(le_value, prev_le);
+      prev_le = le_value;
+    }
+  }
+  EXPECT_GE(buckets, 2);
+  EXPECT_EQ(inf_count, 3u);  // +Inf carries the total count
+}
+
+TEST(OpenMetricsText, EmptySnapshotIsJustEof) {
+  const std::string text = openmetrics_text(RegistrySnapshot{});
+  EXPECT_EQ(text, "# EOF\n");
+}
+
+TEST(SidecarMeta, CarriesSchemaVersionArgvAndTimestamp) {
+  const util::Json meta = sidecar_meta(fake_argv(), 12);
+  EXPECT_DOUBLE_EQ(meta.at("schema_version").as_number(),
+                   static_cast<double>(kSidecarSchemaVersion));
+  EXPECT_DOUBLE_EQ(meta.at("metric_count").as_number(), 12.0);
+  const auto& argv = meta.at("argv").as_array();
+  ASSERT_EQ(argv.size(), 3u);
+  EXPECT_EQ(argv[0].as_string(), "mlck");
+  EXPECT_EQ(argv[2].as_string(), "--trials=100");
+  // ISO-8601 UTC: "YYYY-MM-DDTHH:MM:SSZ".
+  const std::string ts = meta.at("written_at").as_string();
+  ASSERT_EQ(ts.size(), 20u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(SidecarJson, WrapsRegistrySectionsWithMeta) {
+  MetricsRegistry reg;
+  reg.counter("sim.trials").add(3);
+  reg.gauge("pool.depth").set(1.0);
+  const util::Json doc = sidecar_json(reg, fake_argv());
+  EXPECT_DOUBLE_EQ(doc.at("meta").at("metric_count").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("sim.trials").as_number(), 3.0);
+  EXPECT_NO_THROW(util::Json::parse(doc.dump(2)));
+}
+
+TEST(TimelineJsonl, MetaFirstThenOneJsonObjectPerPoint) {
+  MetricsRegistry reg;
+  Counter& work = reg.counter("work.items");
+  TelemetrySampler sampler(reg);
+  work.add(1);
+  sampler.sample_now();
+  work.add(4);
+  sampler.sample_now();
+  const std::string text = timeline_jsonl(sampler, fake_argv());
+  const auto lines = lines_of(text);
+  ASSERT_GE(lines.size(), 3u);  // meta + 2 work.items points (+ self-metrics)
+
+  const util::Json meta = util::Json::parse(lines[0]);
+  EXPECT_EQ(meta.at("kind").as_string(), "timeline_meta");
+  EXPECT_DOUBLE_EQ(meta.at("schema_version").as_number(),
+                   static_cast<double>(kSidecarSchemaVersion));
+  EXPECT_DOUBLE_EQ(meta.at("ticks").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(meta.at("period_ms").as_number(), 50.0);
+
+  int work_points = 0;
+  double prev_value = -1.0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const util::Json point = util::Json::parse(lines[i]);  // each line valid
+    const std::string kind = point.at("kind").as_string();
+    ASSERT_TRUE(kind == "point" || kind == "hist") << lines[i];
+    if (kind == "point" && point.at("metric").as_string() == "work.items") {
+      ++work_points;
+      EXPECT_EQ(point.at("type").as_string(), "counter");
+      EXPECT_GE(point.at("value").as_number(), prev_value);
+      prev_value = point.at("value").as_number();
+    }
+  }
+  EXPECT_EQ(work_points, 2);
+  EXPECT_DOUBLE_EQ(prev_value, 5.0);
+}
+
+TEST(Attribution, JoinTableKnowsThePhaseCounters) {
+  EXPECT_EQ(attribution_counter("optimizer.coarse_sweep"),
+            "optimizer.plans_swept");
+  EXPECT_EQ(attribution_counter("scenario.simulate"), "sim.trials");
+  EXPECT_EQ(attribution_counter("pool.task"), "pool.tasks_run");
+  EXPECT_EQ(attribution_counter("no.such.span"), "");
+}
+
+TEST(Attribution, SelfVsChildSplitChargesDirectParentOnly) {
+  // Synthetic nesting on one thread:
+  //   outer [0, 100] > middle [10, 60] > inner [20, 40]
+  // middle is charged to outer, inner to middle — never inner to outer.
+  std::vector<SpanEvent> spans;
+  spans.push_back({"outer", "test", 0, 0.0, 100.0});
+  spans.push_back({"middle", "test", 0, 10.0, 60.0});
+  spans.push_back({"inner", "test", 0, 20.0, 40.0});
+  // Same names on another thread must not nest across threads.
+  spans.push_back({"outer", "test", 1, 0.0, 30.0});
+  const auto phases = attribute_costs(spans, RegistrySnapshot{});
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].name, "outer");  // sorted by descending total
+  EXPECT_EQ(phases[0].spans, 2u);
+  EXPECT_DOUBLE_EQ(phases[0].total_us, 130.0);
+  EXPECT_DOUBLE_EQ(phases[0].child_us, 50.0);  // middle only, thread 0
+  EXPECT_DOUBLE_EQ(phases[0].self_us, 80.0);
+  EXPECT_EQ(phases[1].name, "middle");
+  EXPECT_DOUBLE_EQ(phases[1].child_us, 20.0);  // inner
+  EXPECT_DOUBLE_EQ(phases[1].self_us, 30.0);
+  EXPECT_EQ(phases[2].name, "inner");
+  EXPECT_DOUBLE_EQ(phases[2].child_us, 0.0);
+  EXPECT_DOUBLE_EQ(phases[2].self_us, 20.0);
+}
+
+TEST(Attribution, JoinsCountersAndDerivesThroughput) {
+  std::vector<SpanEvent> spans;
+  // 2 seconds of optimizer sweep.
+  spans.push_back({"optimizer.coarse_sweep", "optimizer", 0, 0.0, 2.0e6});
+  RegistrySnapshot snapshot;
+  snapshot.counters.emplace_back("optimizer.plans_swept", 1000u);
+  const auto phases = attribute_costs(spans, snapshot);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].counter, "optimizer.plans_swept");
+  EXPECT_EQ(phases[0].events, 1000u);
+  EXPECT_DOUBLE_EQ(phases[0].events_per_sec, 500.0);
+}
+
+TEST(Attribution, JsonAndTableRender) {
+  std::vector<SpanEvent> spans;
+  spans.push_back({"pool.task", "pool", 0, 0.0, 50.0});
+  RegistrySnapshot snapshot;
+  snapshot.counters.emplace_back("pool.tasks_run", 1u);
+  const auto phases = attribute_costs(spans, snapshot);
+  const util::Json doc = attribution_json(phases);
+  const auto& rows = doc.at("phases").as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("name").as_string(), "pool.task");
+  EXPECT_DOUBLE_EQ(rows[0].at("total_us").as_number(), 50.0);
+  EXPECT_NO_THROW(util::Json::parse(doc.dump(2)));
+  std::ostringstream os;
+  print_attribution(os, phases);
+  EXPECT_NE(os.str().find("pool.task"), std::string::npos);
+}
+
+TEST(Attribution, EmptyInputsYieldEmptyReport) {
+  const auto phases = attribute_costs({}, RegistrySnapshot{});
+  EXPECT_TRUE(phases.empty());
+  std::ostringstream os;
+  print_attribution(os, phases);  // header-only table, no crash
+}
+
+}  // namespace
+}  // namespace mlck::obs
