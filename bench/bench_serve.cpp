@@ -1,0 +1,304 @@
+// mlckd serving benchmark: N concurrent thin clients drive an in-process
+// advisory daemon over its Unix socket with a mixed request stream
+// (optimize / predict / scenario across the Table I systems and all
+// three failure laws), in two phases:
+//
+//   cold — every distinct request computed for the first time (optimizer
+//          runs dominate; duplicates coalesce);
+//   warm — sustained passes over the same mix against a full plan cache
+//          (protocol + cache round-trips dominate).
+//
+// Latencies are measured client-side around each call, so they include
+// admission, queueing, and the wire; the same distribution is visible
+// server-side through the serve.request_latency_ns histogram.
+//
+// Two gates, mirroring the daemon's contract tests:
+//   * identity — every response (cold, coalesced, or warm) must be
+//     byte-identical to the direct serve::evaluate path; exit 1.
+//   * liveness — after the storm a fresh client's ping must answer and
+//     the daemon must drain cleanly; exit 4.
+// Throughput (QPS, p50/p99) is reported but never gating.
+//
+// Writes BENCH_serve.json. --smoke shrinks clients and passes for CI.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/serialize.h"
+#include "obs/registry.h"
+#include "serve/client.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using mlck::util::Json;
+
+/// The request mix: one op per (system, law) cell, cycled so each of
+/// optimize/predict/scenario covers every law. No "id" members — every
+/// client must receive the exact same bytes for the same request.
+std::vector<std::string> request_mix() {
+  const char* systems[] = {"B", "M", "D1", "D3", "D5", "D7", "D9"};
+  const char* optimizer =
+      "{\"coarse_tau_points\":16,\"max_count\":8,\"refine_rounds\":8}";
+  std::vector<std::string> mix;
+  for (std::size_t s = 0; s < std::size(systems); ++s) {
+    for (int law = 0; law < 3; ++law) {
+      const std::string system = systems[s];
+      std::string failure;
+      switch (law) {
+        case 0: failure = "{\"law\":\"exponential\"}"; break;
+        case 1: failure = "{\"law\":\"weibull\",\"shape\":0.7}"; break;
+        default: failure = "{\"law\":\"lognormal\",\"sigma\":1.0}"; break;
+      }
+      switch ((static_cast<int>(s) + law) % 3) {
+        case 0:
+          mix.push_back("{\"op\":\"optimize\",\"system\":\"" + system +
+                        "\",\"failure\":" + failure +
+                        ",\"optimizer\":" + optimizer + "}");
+          break;
+        case 1:
+          mix.push_back("{\"op\":\"predict\",\"system\":\"" + system +
+                        "\",\"failure\":" + failure +
+                        ",\"plan\":{\"tau0\":60.0,\"levels\":[0],"
+                        "\"counts\":[]}}");
+          break;
+        default:
+          mix.push_back("{\"op\":\"scenario\",\"spec\":{\"system\":\"" +
+                        system + "\",\"failure\":" + failure +
+                        ",\"optimizer\":" + optimizer +
+                        ",\"trials\":40,\"seed\":7}}");
+          break;
+      }
+    }
+  }
+  return mix;
+}
+
+/// The identity gate's right-hand side, computed without the daemon.
+std::string direct_response(const std::string& request_text) {
+  const mlck::serve::Request request =
+      mlck::serve::Request::parse(Json::parse(request_text));
+  return mlck::serve::ok_response(request.id,
+                                  mlck::serve::evaluate(request));
+}
+
+double percentile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+struct Phase {
+  std::string name;
+  std::size_t requests = 0;
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+struct Verdict {
+  std::atomic<bool> identical{true};
+  std::mutex mutex;
+  std::string first_mismatch;  ///< guarded by mutex
+
+  void check(const std::string& got, const std::string& want,
+             const std::string& request) {
+    if (got == want) return;
+    identical.store(false, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (first_mismatch.empty()) {
+      first_mismatch = "request " + request + "\n  want " + want +
+                       "\n  got  " + got;
+    }
+  }
+};
+
+/// Runs @p tasks request indices through @p clients concurrent
+/// connections, byte-checking every response, and reduces the client-side
+/// latencies into phase stats.
+Phase run_phase(const std::string& name, const std::string& socket,
+                std::size_t clients, const std::vector<std::size_t>& tasks,
+                const std::vector<std::string>& mix,
+                const std::vector<std::string>& expected, Verdict& verdict) {
+  std::vector<std::vector<double>> latencies_ms(clients);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      mlck::serve::Client client(socket);
+      latencies_ms[c].reserve(tasks.size() / clients + 1);
+      for (std::size_t task = next.fetch_add(1); task < tasks.size();
+           task = next.fetch_add(1)) {
+        const std::size_t i = tasks[task];
+        const auto sent = std::chrono::steady_clock::now();
+        const std::string response = client.call_raw(mix[i]);
+        latencies_ms[c].push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - sent)
+                .count());
+        verdict.check(response, expected[i], mix[i]);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  Phase phase;
+  phase.name = name;
+  phase.requests = tasks.size();
+  phase.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::vector<double> all;
+  for (auto& per_client : latencies_ms) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  phase.p50_ms = percentile(all, 0.50);
+  phase.p99_ms = percentile(all, 0.99);
+  return phase;
+}
+
+Json phase_json(const Phase& phase) {
+  Json::Object doc;
+  doc["requests"] = static_cast<double>(phase.requests);
+  doc["seconds"] = phase.seconds;
+  doc["qps"] = phase.qps();
+  doc["p50_ms"] = phase.p50_ms;
+  doc["p99_ms"] = phase.p99_ms;
+  return Json(std::move(doc));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mlck::util::Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  const auto clients = static_cast<std::size_t>(
+      std::max(2, cli.get_int("clients", smoke ? 4 : 8)));
+  // Warm passes over the whole mix, per benchmark (not per client).
+  const int passes = cli.get_int("passes", smoke ? 8 : 64);
+  const int threads = cli.get_int("threads", 0);
+  const std::string out = cli.get_string("out", "BENCH_serve.json");
+  mlck::bench::reject_unknown_flags(cli);
+
+  const std::vector<std::string> mix = request_mix();
+  mlck::bench::progress("bench serve: computing direct baselines (" +
+                        std::to_string(mix.size()) + " requests)");
+  std::vector<std::string> expected(mix.size());
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    expected[i] = direct_response(mix[i]);
+  }
+
+  mlck::obs::MetricsRegistry registry;
+  mlck::serve::ServerOptions options;
+  options.socket_path =
+      "/tmp/mlck_" + std::to_string(::getpid()) + "_bench.sock";
+  options.threads = static_cast<std::size_t>(std::max(threads, 0));
+  options.registry = &registry;
+  mlck::serve::Server server(options);
+  Verdict verdict;
+
+  // Cold phase: every request twice, so first-timers and their coalesced
+  // or cache-hit duplicates are both on the clock.
+  mlck::bench::progress("bench serve: cold phase (" +
+                        std::to_string(clients) + " clients)");
+  std::vector<std::size_t> cold_tasks;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    cold_tasks.push_back(i);
+    cold_tasks.push_back(i);
+  }
+  const Phase cold = run_phase("cold", options.socket_path, clients,
+                               cold_tasks, mix, expected, verdict);
+
+  mlck::bench::progress("bench serve: warm phase (" +
+                        std::to_string(passes) + " passes)");
+  std::vector<std::size_t> warm_tasks;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (std::size_t i = 0; i < mix.size(); ++i) warm_tasks.push_back(i);
+  }
+  const Phase warm = run_phase("warm", options.socket_path, clients,
+                               warm_tasks, mix, expected, verdict);
+
+  // Liveness: a fresh client after the storm, then a clean drain.
+  bool live = false;
+  try {
+    mlck::serve::Client probe(options.socket_path);
+    const Json pong = Json::parse(probe.call_raw("{\"op\":\"ping\"}"));
+    live = pong.at("ok").as_bool() &&
+           pong.at("result").at("pong").as_bool();
+  } catch (const std::exception& error) {
+    std::cerr << "FATAL: liveness probe failed: " << error.what() << "\n";
+  }
+  server.stop();
+
+  const bool identical = verdict.identical.load();
+  mlck::util::Table table(
+      {"phase", "requests", "seconds", "qps", "p50 ms", "p99 ms"});
+  for (const Phase* phase : {&cold, &warm}) {
+    table.add_row({phase->name, std::to_string(phase->requests),
+                   mlck::util::Table::num(phase->seconds, 3),
+                   mlck::util::Table::num(phase->qps(), 1),
+                   mlck::util::Table::num(phase->p50_ms, 3),
+                   mlck::util::Table::num(phase->p99_ms, 3)});
+  }
+
+  Json::Object serve_counters;
+  for (const char* name :
+       {"serve.requests", "serve.errors", "serve.jobs_executed",
+        "serve.coalesced", "serve.plan_cache.hits",
+        "serve.plan_cache.misses"}) {
+    serve_counters[name] = static_cast<double>(registry.counter(name).value());
+  }
+
+  Json::Object doc;
+  doc["benchmark"] = "serve";
+  doc["smoke"] = smoke;
+  doc["clients"] = static_cast<double>(clients);
+  doc["passes"] = passes;
+  doc["threads"] = threads;
+  doc["mix_size"] = static_cast<double>(mix.size());
+  doc["cold"] = phase_json(cold);
+  doc["warm"] = phase_json(warm);
+  doc["sustained_qps"] = warm.qps();
+  doc["bit_identical"] = identical;
+  doc["liveness"] = live;
+  doc["serve"] = Json(std::move(serve_counters));
+  mlck::core::write_file(out, Json(std::move(doc)).dump(2) + "\n");
+
+  std::cout << "mlckd serving throughput: " << clients
+            << " concurrent clients, " << mix.size()
+            << "-request mix (7 systems x 3 failure laws x "
+               "optimize/predict/scenario)\n";
+  table.print(std::cout);
+  std::cout << "identity: " << (identical ? "byte-identical" : "DIVERGED")
+            << ", liveness: " << (live ? "ok" : "DEAD") << "\n";
+  std::cout << "\nwrote " << out << "\n";
+
+  if (!identical) {
+    std::lock_guard<std::mutex> lock(verdict.mutex);
+    std::cerr << "FATAL: daemon response diverged from direct evaluation\n"
+              << verdict.first_mismatch << "\n";
+    return 1;
+  }
+  if (!live) return 4;
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "app/commands.h"
 
 #include <algorithm>
+#include <csignal>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -24,9 +25,12 @@
 #include "obs/registry.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "sim/trial_runner.h"
 #include "systems/test_systems.h"
 #include "util/cli.h"
+#include "util/socket.h"
 #include "util/table.h"
 #include "verify/selftest.h"
 
@@ -36,6 +40,9 @@ namespace {
 
 using util::Cli;
 using util::Table;
+
+int run_connected(const Cli& cli, const std::string& op,
+                  const std::string& socket, std::ostream& out);
 
 std::unique_ptr<core::ExecutionTimeModel> make_model(
     const std::string& name) {
@@ -164,6 +171,9 @@ int cmd_show(const Cli& cli, std::ostream& out) {
 }
 
 int cmd_optimize(const Cli& cli, std::ostream& out) {
+  if (const auto socket = cli.value("connect"); socket && !socket->empty()) {
+    return run_connected(cli, "optimize", *socket, out);
+  }
   const auto system = system_from(cli);
   const std::string technique_name = cli.get_string("technique", "dauwe");
   const auto law = law_from(cli, technique_name, "technique");
@@ -239,6 +249,9 @@ int cmd_optimize(const Cli& cli, std::ostream& out) {
 }
 
 int cmd_predict(const Cli& cli, std::ostream& out) {
+  if (const auto socket = cli.value("connect"); socket && !socket->empty()) {
+    return run_connected(cli, "predict", *socket, out);
+  }
   const auto system = system_from(cli);
   const auto plan_path = cli.value("plan");
   if (!plan_path || plan_path->empty()) {
@@ -840,11 +853,144 @@ int cmd_selftest(const Cli& cli, std::ostream& out) {
   return report.passed() ? 0 : 1;
 }
 
+/// Self-pipe target for the daemon's SIGINT/SIGTERM handler. Only
+/// cmd_serve installs the handler, and it clears the pointer before the
+/// pipe dies.
+util::Pipe* g_serve_signal_pipe = nullptr;
+
+void serve_signal_handler(int) {
+  if (g_serve_signal_pipe != nullptr) g_serve_signal_pipe->poke();
+}
+
+int cmd_serve(const Cli& cli, std::ostream& out) {
+  const auto socket = cli.value("socket");
+  if (!socket || socket->empty()) {
+    throw std::out_of_range("--socket=<path> is required");
+  }
+  serve::ServerOptions options;
+  options.socket_path = *socket;
+  options.threads =
+      static_cast<std::size_t>(std::max(0, cli.get_int("threads", 0)));
+  options.queue_limit =
+      static_cast<std::size_t>(std::max(1, cli.get_int("queue-limit", 64)));
+  options.cache_capacity = static_cast<std::size_t>(
+      std::max(0, cli.get_int("cache-capacity", 128)));
+
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::TelemetrySampler> sampler;
+  if (wants_registry(cli)) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    options.registry = registry.get();
+    if (cli.has("timeline")) {
+      sampler = std::make_unique<obs::TelemetrySampler>(
+          *registry, sampler_options_from(cli));
+      sampler->start();
+    }
+  }
+
+  // Self-pipe signal handling: the handler only writes a byte, the serve
+  // loop below does all real work on the main thread.
+  util::Pipe signal_pipe;
+  g_serve_signal_pipe = &signal_pipe;
+  struct sigaction action = {};
+  action.sa_handler = serve_signal_handler;
+  struct sigaction old_int = {};
+  struct sigaction old_term = {};
+  sigaction(SIGINT, &action, &old_int);
+  sigaction(SIGTERM, &action, &old_term);
+
+  int code = 0;
+  try {
+    serve::Server server(options);
+    out << "mlckd listening on " << server.socket_path() << "\n"
+        << std::flush;
+    // Park until either a signal or a client's `shutdown` op.
+    (void)util::wait_either_readable(signal_pipe.read_fd(),
+                                     server.stop_event_fd());
+    out << "mlckd draining\n" << std::flush;
+    server.stop();
+  } catch (...) {
+    sigaction(SIGINT, &old_int, nullptr);
+    sigaction(SIGTERM, &old_term, nullptr);
+    g_serve_signal_pipe = nullptr;
+    throw;
+  }
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+  g_serve_signal_pipe = nullptr;
+
+  if (sampler) sampler->stop();
+  if (registry) {
+    if (const auto path = cli.value("metrics")) {
+      flush_metrics(*registry, *path, cli, out);
+    }
+    flush_exports(*registry, sampler.get(), cli, out);
+  }
+  out << "mlckd stopped\n";
+  return code;
+}
+
+/// `--connect=<socket>` thin-client mode shared by optimize and predict:
+/// builds the request from the same flags the local path uses (the
+/// system resolves locally, so file-path systems work, and travels
+/// inline), round-trips it through the daemon, and renders the daemon's
+/// deterministic result fields.
+int run_connected(const Cli& cli, const std::string& op,
+                  const std::string& socket, std::ostream& out) {
+  const auto system = system_from(cli);
+  const std::string technique =
+      cli.get_string(op == "optimize" ? "technique" : "model", "dauwe");
+  if (technique != "dauwe") {
+    throw std::out_of_range("--connect serves the dauwe " +
+                            std::string(op == "optimize" ? "technique"
+                                                         : "model") +
+                            " only (the daemon's evaluation-engine "
+                            "contract)");
+  }
+  util::Json::Object request;
+  request["op"] = util::Json(op);
+  request["system"] = core::to_json(system);
+  if (const auto law = law_from(cli, technique, "request")) {
+    request["failure"] = law->to_json();
+  }
+  if (op == "predict") {
+    const auto plan_path = cli.value("plan");
+    if (!plan_path || plan_path->empty()) {
+      throw std::out_of_range("--plan=plan.json is required");
+    }
+    request["plan"] = util::Json::parse(core::read_file(*plan_path));
+  }
+
+  serve::Client client(socket);
+  const util::Json response = client.call(util::Json(std::move(request)));
+  if (!response.at("ok").as_bool()) {
+    const util::Json& error = response.at("error");
+    throw std::runtime_error("daemon error [" +
+                             error.at("code").as_string() + "]: " +
+                             error.at("message").as_string());
+  }
+  const util::Json& result = response.at("result");
+  const auto plan = core::plan_from_json(result.at("plan"));
+  Table table({"field", "value"});
+  table.add_row({"served by", socket});
+  table.add_row({"plan", plan.to_string()});
+  table.add_row({"expected time (min)",
+                 Table::num(result.at("expected_time").as_number(), 2)});
+  table.add_row({"efficiency",
+                 Table::pct(result.at("efficiency").as_number())});
+  table.print(out);
+  if (const auto path = cli.value("out"); path && !path->empty()) {
+    core::write_file(*path, core::to_json(plan).dump(2) + "\n");
+    out << "plan written to " << *path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::string usage() {
   return "usage: mlck <systems|show|optimize|predict|simulate|compare|energy|"
-         "sensitivity|trace|scenario|report|selftest>"
+         "sensitivity|trace|scenario|report|selftest|serve>"
          " [--system=<name|file.json>] [options]\n"
          "run `mlck <command>` with a missing argument for its specific"
          " requirements; see src/app/commands.h for the full synopsis\n";
@@ -880,6 +1026,7 @@ int run_command(const std::vector<std::string>& args, std::ostream& out,
     else if (command == "scenario") code = cmd_scenario(cli, out, err);
     else if (command == "report") code = cmd_report(cli, out);
     else if (command == "selftest") code = cmd_selftest(cli, out);
+    else if (command == "serve") code = cmd_serve(cli, out);
     else {
       err << "unknown command: " << command << "\n" << usage();
       return 2;

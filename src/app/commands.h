@@ -14,10 +14,11 @@ namespace mlck::app {
 ///   mlck systems
 ///   mlck show     --system=<name|file.json>
 ///   mlck optimize --system=... [--technique=dauwe] [--out=plan.json]
+///                 [--connect=<socket>]
 ///                 [--metrics[=metrics.json]] [--openmetrics=metrics.txt]
 ///                 [--timeline=timeline.jsonl] [--sample-period-ms=50]
 ///   mlck predict  --system=... --plan=plan.json [--model=dauwe]
-///                 [--metrics[=metrics.json]]
+///                 [--connect=<socket>] [--metrics[=metrics.json]]
 ///   mlck simulate --system=... (--plan=plan.json | --technique=dauwe |
 ///                 --intervals=schedule.json) [--adaptive]
 ///                 [--trials=200] [--seed=1] [--policy=retry|escalate]
@@ -40,6 +41,23 @@ namespace mlck::app {
 ///   mlck selftest [--cases=200] [--seed=42] [--case=K]
 ///                 [--trials=200] [--welch-systems=8] [--alpha=0.01]
 ///                 [--welch-gate] [--threads=0] [--out=report.json]
+///   mlck serve    --socket=<path> [--threads=0] [--queue-limit=64]
+///                 [--cache-capacity=128] [--metrics[=metrics.json]]
+///                 [--openmetrics=metrics.txt] [--timeline=timeline.jsonl]
+///                 [--sample-period-ms=50]
+///
+/// `serve` runs mlckd, the persistent advisory daemon: a Unix-domain
+/// socket speaking a length-prefixed JSON protocol (docs/SERVING.md).
+/// Requests are admitted into a bounded queue, coalesced by canonical
+/// request fingerprint so one optimizer run satisfies every waiter
+/// asking the same question, executed on a shared thread pool, and
+/// cached in a bounded multi-tenant LRU plan cache. Responses are
+/// byte-identical to the direct evaluation path — cold, warm, or
+/// coalesced. The daemon drains gracefully on SIGINT/SIGTERM or a
+/// client `shutdown` op (in-flight work completes, new admissions are
+/// rejected with a named error, telemetry flushes, exit 0). `optimize`
+/// and `predict` gain `--connect=<socket>` to round-trip through a
+/// running daemon instead of computing locally.
 ///
 /// `selftest` runs the randomized verification harness (src/verify,
 /// docs/TESTING.md): generated cases checked against a numeric-quadrature

@@ -1,0 +1,31 @@
+#include "serve/client.h"
+
+#include <stdexcept>
+
+#include "serve/protocol.h"
+
+namespace mlck::serve {
+
+Client::Client(const std::string& socket_path)
+    : fd_(util::unix_connect(socket_path)), socket_path_(socket_path) {}
+
+std::string Client::call_raw(std::string_view request_text) {
+  if (!write_frame(fd_.get(), request_text)) {
+    throw std::runtime_error("serve client: write to " + socket_path_ +
+                             " failed (daemon gone?)");
+  }
+  std::string payload;
+  const FrameStatus status = read_frame(fd_.get(), payload);
+  if (status != FrameStatus::kOk) {
+    throw std::runtime_error(std::string("serve client: read from ") +
+                             socket_path_ + " failed (" +
+                             frame_status_name(status) + ")");
+  }
+  return payload;
+}
+
+util::Json Client::call(const util::Json& request) {
+  return util::Json::parse(call_raw(request.dump()));
+}
+
+}  // namespace mlck::serve

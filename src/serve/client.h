@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/socket.h"
+
+namespace mlck::serve {
+
+/// Blocking thin client for the advisory daemon: one connection, one
+/// frame out, one frame in. This is all `mlck --connect` and the bench
+/// drivers need — the protocol has no pipelining, and concurrency comes
+/// from running many clients.
+class Client {
+ public:
+  /// Connects; throws std::runtime_error naming the socket path when no
+  /// daemon listens there.
+  explicit Client(const std::string& socket_path);
+
+  /// Sends @p request_text as one frame and returns the response frame's
+  /// exact bytes (the unit the bit-identity contract is stated in).
+  /// Throws std::runtime_error on I/O failure or connection loss.
+  std::string call_raw(std::string_view request_text);
+
+  /// JSON convenience over call_raw (compact dump on the way out).
+  util::Json call(const util::Json& request);
+
+  int fd() const noexcept { return fd_.get(); }
+
+ private:
+  util::Fd fd_;
+  std::string socket_path_;
+};
+
+}  // namespace mlck::serve

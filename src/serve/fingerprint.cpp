@@ -1,0 +1,23 @@
+#include "serve/fingerprint.h"
+
+#include <cstdio>
+
+namespace mlck::serve {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string fingerprint_hex(std::string_view canonical_key) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(canonical_key)));
+  return std::string(buffer, 16);
+}
+
+}  // namespace mlck::serve

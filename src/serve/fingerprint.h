@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mlck::serve {
+
+/// FNV-1a 64-bit over @p bytes: the advisory service's system
+/// fingerprint hash. Collisions are harmless for correctness — the plan
+/// cache and the coalescing map are keyed by the full canonical request
+/// text and use the hash only for display (`stats` op, logs) — so a
+/// small, dependency-free hash is the right tool.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// The hash as 16 lowercase hex digits ("a3f0...").
+std::string fingerprint_hex(std::string_view canonical_key);
+
+}  // namespace mlck::serve

@@ -1,0 +1,49 @@
+#include "serve/plan_cache.h"
+
+#include <utility>
+
+namespace mlck::serve {
+
+std::optional<std::string> PlanCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (metrics_.misses != nullptr) metrics_.misses->add();
+    return std::nullopt;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);
+  if (metrics_.hits != nullptr) metrics_.hits->add();
+  return it->second->value;
+}
+
+void PlanCache::put(const std::string& key, std::string value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = std::move(value);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    if (metrics_.evictions != nullptr) metrics_.evictions->add();
+  }
+  entries_.push_front(Entry{key, std::move(value)});
+  index_[key] = entries_.begin();
+  update_size_locked();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void PlanCache::update_size_locked() noexcept {
+  if (metrics_.size != nullptr) {
+    metrics_.size->set(static_cast<double>(entries_.size()));
+  }
+}
+
+}  // namespace mlck::serve

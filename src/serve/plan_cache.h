@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace mlck::serve {
+
+/// Optional cache observability (serve.plan_cache.* in
+/// docs/OBSERVABILITY.md). Null members are skipped, as everywhere.
+struct PlanCacheMetrics {
+  obs::Counter* hits = nullptr;
+  obs::Counter* misses = nullptr;
+  obs::Counter* evictions = nullptr;
+  obs::Gauge* size = nullptr;  ///< live entry count
+};
+
+/// The multi-tenant plan cache: canonical request key -> the serialized
+/// result payload the daemon answered with. Bounded LRU — get() renews
+/// an entry, put() evicts the least-recently-used entry once the
+/// capacity is reached.
+///
+/// Values are the exact serialized JSON text of the first computation,
+/// so a cache-warm answer is byte-identical to the cache-cold one by
+/// construction — the bit-identity contract of docs/SERVING.md costs
+/// nothing to maintain.
+///
+/// Thread-safe: one mutex guards the map and the recency list. The
+/// cache sits once per request on the admission path, never inside the
+/// optimizer or simulator hot loops, so a mutex is the right tool.
+class PlanCache {
+ public:
+  /// @p capacity == 0 disables caching (every get() misses, put() drops).
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The cached payload for @p key, renewing its recency; nullopt on
+  /// miss. Hit/miss counters move accordingly.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Inserts (or refreshes) @p key. Evicts the least-recently-used
+  /// entry when the cache is full and @p key is new.
+  void put(const std::string& key, std::string value);
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Installs the metric set (copied; pointed-to metrics must outlive
+  /// the cache). Call before sharing across threads.
+  void attach_metrics(const PlanCacheMetrics& metrics) { metrics_ = metrics; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  void update_size_locked() noexcept;
+
+  const std::size_t capacity_;
+  PlanCacheMetrics metrics_;
+  mutable std::mutex mutex_;
+  /// Most-recently-used first.
+  std::list<Entry> entries_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace mlck::serve

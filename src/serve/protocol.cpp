@@ -1,0 +1,75 @@
+#include "serve/protocol.h"
+
+#include "util/socket.h"
+
+namespace mlck::serve {
+
+void encode_frame_header(std::size_t size, unsigned char out[4]) noexcept {
+  const auto value = static_cast<std::uint32_t>(size);
+  out[0] = static_cast<unsigned char>((value >> 24) & 0xFF);
+  out[1] = static_cast<unsigned char>((value >> 16) & 0xFF);
+  out[2] = static_cast<unsigned char>((value >> 8) & 0xFF);
+  out[3] = static_cast<unsigned char>(value & 0xFF);
+}
+
+std::uint32_t decode_frame_header(const unsigned char header[4]) noexcept {
+  return (static_cast<std::uint32_t>(header[0]) << 24) |
+         (static_cast<std::uint32_t>(header[1]) << 16) |
+         (static_cast<std::uint32_t>(header[2]) << 8) |
+         static_cast<std::uint32_t>(header[3]);
+}
+
+std::string encode_frame(std::string_view payload) {
+  unsigned char header[kFrameHeaderBytes];
+  encode_frame_header(payload.size(), header);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(reinterpret_cast<const char*>(header), kFrameHeaderBytes);
+  out.append(payload);
+  return out;
+}
+
+const char* frame_status_name(FrameStatus status) noexcept {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kClosed: return "closed";
+    case FrameStatus::kTruncated: return "truncated";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kEmpty: return "empty";
+    case FrameStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+FrameStatus read_frame(int fd, std::string& payload,
+                       std::size_t max_bytes) {
+  payload.clear();
+  unsigned char header[kFrameHeaderBytes];
+  const long got = util::read_exact(fd, header, kFrameHeaderBytes);
+  if (got == 0) return FrameStatus::kClosed;
+  if (got < 0) return FrameStatus::kError;
+  if (static_cast<std::size_t>(got) < kFrameHeaderBytes) {
+    return FrameStatus::kTruncated;
+  }
+  const std::uint32_t length = decode_frame_header(header);
+  if (length == 0) return FrameStatus::kEmpty;
+  if (length > max_bytes) return FrameStatus::kOversized;
+  payload.resize(length);
+  const long body = util::read_exact(fd, payload.data(), length);
+  if (body < 0) {
+    payload.clear();
+    return FrameStatus::kError;
+  }
+  if (static_cast<std::size_t>(body) < length) {
+    payload.clear();
+    return FrameStatus::kTruncated;
+  }
+  return FrameStatus::kOk;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  return util::write_all(fd, frame.data(), frame.size());
+}
+
+}  // namespace mlck::serve

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mlck::serve {
+
+/// Wire framing of the mlckd advisory protocol (docs/SERVING.md): every
+/// message — request and response alike — is one frame:
+///
+///   +----------------------+----------------------------+
+///   | length: 4 bytes,     | payload: `length` bytes of |
+///   | unsigned big-endian  | UTF-8 JSON text            |
+///   +----------------------+----------------------------+
+///
+/// The length counts payload bytes only. Zero-length frames are invalid
+/// (there is no empty JSON document). Frames above kMaxFrameBytes are
+/// rejected without buffering the payload, so a hostile or corrupt
+/// length header cannot make the daemon allocate gigabytes.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+inline constexpr std::size_t kMaxFrameBytes = 8u << 20;  // 8 MiB
+
+/// Renders the 4-byte header for a payload of @p size bytes.
+void encode_frame_header(std::size_t size, unsigned char out[4]) noexcept;
+
+/// Parses a 4-byte header into the payload length.
+std::uint32_t decode_frame_header(const unsigned char header[4]) noexcept;
+
+/// Header + payload as one contiguous buffer (what write_frame sends).
+std::string encode_frame(std::string_view payload);
+
+/// Outcome of reading one frame from a descriptor.
+enum class FrameStatus {
+  kOk,         ///< a complete frame was read into the payload
+  kClosed,     ///< clean EOF: the peer closed between frames
+  kTruncated,  ///< the peer closed mid-header or mid-payload
+  kOversized,  ///< the header announced more than @p max_bytes
+  kEmpty,      ///< the header announced a zero-length payload
+  kError,      ///< read(2) error
+};
+
+const char* frame_status_name(FrameStatus status) noexcept;
+
+/// Reads one complete frame (blocking; loops over partial reads, so
+/// byte-at-a-time writers are fine). On kOk @p payload holds the JSON
+/// text; on any other status the payload is empty and the connection
+/// should be answered with a protocol error (kOversized / kEmpty — the
+/// peer may still be listening) or dropped (kClosed / kTruncated /
+/// kError — there is nobody left to answer).
+FrameStatus read_frame(int fd, std::string& payload,
+                       std::size_t max_bytes = kMaxFrameBytes);
+
+/// Writes one frame (header + payload). False when the peer is gone.
+bool write_frame(int fd, std::string_view payload);
+
+}  // namespace mlck::serve

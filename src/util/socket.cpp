@@ -1,0 +1,194 @@
+#include "util/socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mlck::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+/// Fills a sockaddr_un; sun_path is a fixed 108-byte array, so long
+/// paths are a hard error rather than a silent truncation.
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(address.sun_path)) {
+    throw std::runtime_error("socket path empty or too long (max " +
+                             std::to_string(sizeof(address.sun_path) - 1) +
+                             " bytes): " + path);
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+void Fd::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Fd::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+long read_exact(int fd, void* buffer, std::size_t size) noexcept {
+  std::size_t done = 0;
+  char* out = static_cast<char*>(buffer);
+  while (done < size) {
+    const ssize_t n = ::read(fd, out + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return static_cast<long>(done);  // peer closed
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return static_cast<long>(done);
+}
+
+bool write_all(int fd, const void* buffer, std::size_t size) noexcept {
+  std::size_t done = 0;
+  const char* in = static_cast<const char*>(buffer);
+  // send(2) for the MSG_NOSIGNAL guarantee on sockets; plain write(2)
+  // for everything else (pipes in the tests, ENOTSOCK on first call).
+  bool use_send = true;
+  while (done < size) {
+    const ssize_t n = use_send
+                          ? ::send(fd, in + done, size - done, MSG_NOSIGNAL)
+                          : ::write(fd, in + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno == ENOTSOCK && use_send) {
+      use_send = false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool wait_readable(int fd, int timeout_ms) noexcept {
+  pollfd entry{};
+  entry.fd = fd;
+  entry.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&entry, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;  // timeout
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+int wait_either_readable(int fd_a, int fd_b) noexcept {
+  pollfd entries[2] = {};
+  entries[0].fd = fd_a;
+  entries[0].events = POLLIN;
+  entries[1].fd = fd_b;
+  entries[1].events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(entries, 2, -1);
+    if (rc > 0) {
+      // POLLHUP/POLLERR count as readable: the waiter must wake up and
+      // observe the condition rather than spin here.
+      if (entries[0].revents != 0) return fd_a;
+      if (entries[1].revents != 0) return fd_b;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+UnixListener UnixListener::bind(const std::string& path, int backlog) {
+  const sockaddr_un address = make_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket() for", path);
+  // A stale socket file from a crashed daemon would make bind fail with
+  // EADDRINUSE even though nothing is listening; remove it first.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    fail("bind() to", path);
+  }
+  if (::listen(fd.get(), backlog) != 0) fail("listen() on", path);
+  return UnixListener(std::move(fd), path);
+}
+
+UnixListener::~UnixListener() {
+  if (!path_.empty() && fd_.valid()) ::unlink(path_.c_str());
+}
+
+Fd UnixListener::accept() const noexcept {
+  for (;;) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    return Fd();
+  }
+}
+
+Fd unix_connect(const std::string& path) {
+  const sockaddr_un address = make_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket() for", path);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    fail("connect() to", path);
+  }
+  return fd;
+}
+
+Pipe::Pipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    throw std::runtime_error(std::string("pipe(): ") +
+                             std::strerror(errno));
+  }
+  read_ = Fd(fds[0]);
+  write_ = Fd(fds[1]);
+}
+
+void Pipe::poke() noexcept {
+  const char byte = 1;
+  // Best-effort and async-signal-safe: a full pipe already means the
+  // reader has a wake-up pending, so a failed write loses nothing.
+  [[maybe_unused]] const ssize_t rc = ::write(write_.get(), &byte, 1);
+}
+
+void Pipe::drain() noexcept {
+  char buffer[64];
+  while (wait_readable(read_.get(), 0)) {
+    const ssize_t n = ::read(read_.get(), buffer, sizeof(buffer));
+    if (n <= 0) break;
+  }
+}
+
+}  // namespace mlck::util

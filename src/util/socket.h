@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mlck::util {
+
+/// Thin RAII owner of one POSIX file descriptor, move-only. -1 means
+/// "no descriptor". Used for the advisory-service plumbing (Unix-domain
+/// sockets, self-pipes); higher layers never touch raw ints.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { close(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// Gives up ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close() noexcept;
+
+  /// shutdown(2) both directions: unblocks any thread sitting in a
+  /// blocking read on this descriptor (they see EOF) without racing the
+  /// descriptor's lifetime the way close() from another thread would.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reads exactly @p size bytes, looping over partial reads and EINTR.
+/// Returns the number of bytes actually read: @p size on success, less
+/// when the peer closed mid-read (0 for a clean EOF before any byte),
+/// or -1 on a read error.
+long read_exact(int fd, void* buffer, std::size_t size) noexcept;
+
+/// Writes all @p size bytes, looping over partial writes and EINTR.
+/// SIGPIPE is suppressed on sockets (MSG_NOSIGNAL): writing to a peer
+/// that already closed returns false instead of killing the process.
+/// Non-socket descriptors (pipes) fall back to plain write(2).
+bool write_all(int fd, const void* buffer, std::size_t size) noexcept;
+
+/// Blocks until @p fd is readable. @p timeout_ms < 0 waits forever.
+/// Returns true when readable, false on timeout or poll error.
+bool wait_readable(int fd, int timeout_ms) noexcept;
+
+/// Blocks until either descriptor is readable (self-pipe select pattern:
+/// the serve loop waits on "signal arrived" or "shutdown op arrived").
+/// Returns the readable descriptor, or -1 on poll error.
+int wait_either_readable(int fd_a, int fd_b) noexcept;
+
+/// A Unix-domain stream listener bound to a filesystem path. The path is
+/// unlinked on bind (stale socket files from a previous run never block
+/// a restart) and again on destruction.
+class UnixListener {
+ public:
+  /// Binds and listens; throws std::runtime_error naming the path and
+  /// errno on failure (path too long for sockaddr_un, bind/listen error).
+  static UnixListener bind(const std::string& path, int backlog = 64);
+
+  UnixListener(UnixListener&&) = default;
+  UnixListener& operator=(UnixListener&&) = default;
+  ~UnixListener();
+
+  /// Accepts one connection (blocking). Returns an invalid Fd when the
+  /// listener was shut down or accept failed.
+  Fd accept() const noexcept;
+
+  int fd() const noexcept { return fd_.get(); }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Stops accepting: wakes any blocked accept() with an error.
+  void shutdown() noexcept { fd_.shutdown_both(); }
+
+ private:
+  UnixListener(Fd fd, std::string path)
+      : fd_(std::move(fd)), path_(std::move(path)) {}
+  Fd fd_;
+  std::string path_;
+};
+
+/// Connects to a Unix-domain stream socket; throws std::runtime_error
+/// naming the path and errno when the daemon is not listening there.
+Fd unix_connect(const std::string& path);
+
+/// A pipe whose write end is async-signal-safe to poke: the self-pipe
+/// trick behind both the daemon's signal handling and its cross-thread
+/// stop event.
+class Pipe {
+ public:
+  /// Throws std::runtime_error on pipe(2) failure.
+  Pipe();
+
+  int read_fd() const noexcept { return read_.get(); }
+  int write_fd() const noexcept { return write_.get(); }
+
+  /// Writes one byte (best-effort, async-signal-safe).
+  void poke() noexcept;
+
+  /// Drains any pending bytes without blocking.
+  void drain() noexcept;
+
+ private:
+  Fd read_;
+  Fd write_;
+};
+
+}  // namespace mlck::util

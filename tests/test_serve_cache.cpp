@@ -1,0 +1,188 @@
+// Plan-cache and coalescing tests for the advisory daemon: canonical
+// fingerprint stability (member order, named vs inline systems), LRU
+// eviction order, and the multi-tenant guarantee that parallel first
+// requests for one fingerprint trigger exactly one optimizer run.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialize.h"
+#include "obs/registry.h"
+#include "serve/client.h"
+#include "serve/plan_cache.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "systems/test_systems.h"
+#include "util/json.h"
+
+namespace mlck {
+namespace {
+
+using util::Json;
+
+std::string test_socket(const char* tag) {
+  return "/tmp/mlck_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+serve::Request parse_request(const std::string& text) {
+  return serve::Request::parse(Json::parse(text));
+}
+
+TEST(ServeFingerprint, KeyIsIndependentOfMemberOrder) {
+  const auto a = parse_request(
+      "{\"op\":\"optimize\",\"system\":\"D3\","
+      "\"failure\":{\"law\":\"weibull\",\"shape\":0.7},"
+      "\"optimizer\":{\"max_count\":16,\"coarse_tau_points\":24}}");
+  const auto b = parse_request(
+      "{\"optimizer\":{\"coarse_tau_points\":24,\"max_count\":16},"
+      "\"failure\":{\"shape\":0.7,\"law\":\"weibull\"},"
+      "\"system\":\"D3\",\"op\":\"optimize\"}");
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+}
+
+TEST(ServeFingerprint, NamedAndInlineSystemsShareAKey) {
+  const auto named = parse_request("{\"op\":\"optimize\",\"system\":\"D3\"}");
+  const std::string inline_doc =
+      core::to_json(systems::table1_system("D3")).dump();
+  const auto inlined = parse_request("{\"op\":\"optimize\",\"system\":" +
+                                     inline_doc + "}");
+  EXPECT_EQ(named.canonical_key(), inlined.canonical_key());
+}
+
+TEST(ServeFingerprint, KeySeparatesOpsSystemsAndOptions) {
+  const auto base = parse_request("{\"op\":\"optimize\",\"system\":\"D3\"}");
+  const auto other_system =
+      parse_request("{\"op\":\"optimize\",\"system\":\"D5\"}");
+  const auto other_law = parse_request(
+      "{\"op\":\"optimize\",\"system\":\"D3\","
+      "\"failure\":{\"law\":\"lognormal\"}}");
+  const auto other_opts = parse_request(
+      "{\"op\":\"optimize\",\"system\":\"D3\","
+      "\"optimizer\":{\"max_count\":8}}");
+  EXPECT_NE(base.canonical_key(), other_system.canonical_key());
+  EXPECT_NE(base.canonical_key(), other_law.canonical_key());
+  EXPECT_NE(base.canonical_key(), other_opts.canonical_key());
+}
+
+TEST(ServeFingerprint, ScenarioOnlyFieldsDoNotSplitOptimizeKeys) {
+  // The id never reaches the key either: results are id-independent.
+  const auto a = parse_request(
+      "{\"op\":\"optimize\",\"id\":1,\"system\":\"D3\"}");
+  const auto b = parse_request(
+      "{\"op\":\"optimize\",\"id\":\"two\",\"system\":\"D3\"}");
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+  // Scenario requests DO key on trials/seed — the simulation is part of
+  // the answer there.
+  const auto s1 = parse_request(
+      "{\"op\":\"scenario\",\"spec\":{\"system\":\"D3\",\"trials\":50}}");
+  const auto s2 = parse_request(
+      "{\"op\":\"scenario\",\"spec\":{\"system\":\"D3\",\"trials\":60}}");
+  EXPECT_NE(s1.canonical_key(), s2.canonical_key());
+}
+
+TEST(ServePlanCache, LruEvictsLeastRecentlyUsed) {
+  serve::PlanCache cache(2);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  EXPECT_EQ(cache.get("a").value_or(""), "1");  // renews a
+  cache.put("c", "3");                           // evicts b, not a
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_EQ(cache.get("a").value_or(""), "1");
+  EXPECT_EQ(cache.get("c").value_or(""), "3");
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ServePlanCache, CountsHitsMissesEvictions) {
+  obs::MetricsRegistry registry;
+  serve::PlanCacheMetrics metrics;
+  metrics.hits = &registry.counter("hits");
+  metrics.misses = &registry.counter("misses");
+  metrics.evictions = &registry.counter("evictions");
+  metrics.size = &registry.gauge("size");
+  serve::PlanCache cache(1);
+  cache.attach_metrics(metrics);
+
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", "1");
+  EXPECT_TRUE(cache.get("a").has_value());
+  cache.put("b", "2");  // evicts a
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(metrics.hits->value(), 1u);
+  EXPECT_EQ(metrics.misses->value(), 2u);
+  EXPECT_EQ(metrics.evictions->value(), 1u);
+  EXPECT_EQ(metrics.size->value(), 1.0);
+}
+
+TEST(ServePlanCache, RefreshingAKeyKeepsOneEntry) {
+  serve::PlanCache cache(4);
+  cache.put("k", "old");
+  cache.put("k", "new");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get("k").value_or(""), "new");
+}
+
+TEST(ServePlanCache, ZeroCapacityDisablesCaching) {
+  serve::PlanCache cache(0);
+  cache.put("k", "v");
+  EXPECT_FALSE(cache.get("k").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ServeCoalescing, ParallelFirstRequestsRunTheOptimizerOnce) {
+  // Reference: one direct run's optimizer footprint for this request.
+  const char* kRequest =
+      "{\"op\":\"optimize\",\"system\":\"D3\","
+      "\"optimizer\":{\"coarse_tau_points\":24,\"max_count\":16}}";
+  obs::MetricsRegistry direct_registry;
+  (void)serve::evaluate(parse_request(kRequest), nullptr, &direct_registry);
+  const std::uint64_t one_run_subsets =
+      direct_registry.counter("optimizer.subsets_searched").value();
+  ASSERT_GT(one_run_subsets, 0u);
+
+  obs::MetricsRegistry registry;
+  serve::ServerOptions options;
+  options.socket_path = test_socket("coal");
+  options.threads = 1;
+  options.registry = &registry;
+  serve::Server server(options);
+
+  // Eight tenants ask the same cold question at once. Coalescing (or a
+  // second-chance cache hit for stragglers) must collapse them to one
+  // optimizer invocation, and everyone gets the same answer.
+  constexpr int kClients = 8;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      serve::Client client(options.socket_path);
+      responses[static_cast<std::size_t>(i)] = client.call_raw(kRequest);
+    });
+  }
+  for (auto& thread : clients) thread.join();
+
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)], responses[0]);
+  }
+  EXPECT_TRUE(Json::parse(responses[0]).at("ok").as_bool());
+
+  // Exactly one job executed, and the optimizer's own counters agree:
+  // its total footprint equals a single run's.
+  EXPECT_EQ(registry.counter("serve.jobs_executed").value(), 1u);
+  EXPECT_EQ(registry.counter("optimizer.subsets_searched").value(),
+            one_run_subsets);
+  const std::uint64_t coalesced =
+      registry.counter("serve.coalesced").value();
+  const std::uint64_t cache_hits =
+      registry.counter("serve.plan_cache.hits").value();
+  EXPECT_EQ(coalesced + cache_hits,
+            static_cast<std::uint64_t>(kClients - 1));
+  server.stop();
+}
+
+}  // namespace
+}  // namespace mlck
